@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table reproduction harnesses.
+ *
+ * Each binary under bench/ regenerates one table or figure from the
+ * paper and prints it in a comparable layout, along with the paper's
+ * reported values where they exist (see EXPERIMENTS.md for the
+ * side-by-side record).
+ */
+
+#ifndef CODECOMP_BENCH_COMMON_HH
+#define CODECOMP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "decompress/cpu.hh"
+#include "program/program.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::bench {
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("==============================================================\n");
+}
+
+/** Build every benchmark once; returns (name, program) pairs. */
+inline std::vector<std::pair<std::string, Program>>
+buildSuite()
+{
+    std::vector<std::pair<std::string, Program>> suite;
+    for (const std::string &name : workloads::benchmarkNames())
+        suite.emplace_back(name, workloads::buildBenchmark(name));
+    return suite;
+}
+
+/** Format a ratio as a percentage string. */
+inline std::string
+pct(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%", value * 100.0);
+    return buf;
+}
+
+} // namespace codecomp::bench
+
+#endif // CODECOMP_BENCH_COMMON_HH

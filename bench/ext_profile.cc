@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Extension: profile-guided dictionary selection.
+ *
+ * The paper optimizes static size; its introduction also motivates
+ * compression through fetch bandwidth (the Perl96 SQL-server anecdote).
+ * Those two objectives pick different dictionaries: a rarely executed
+ * but often *repeated* sequence earns a codeword under the static
+ * objective, while a hot loop body earns one under the traffic
+ * objective. This harness builds both dictionaries for the same
+ * program and budget, then measures what each optimizes:
+ *
+ *   static bytes   -- compressed program + dictionary size
+ *   fetched bytes  -- bytes moved by the fetch unit over a full run
+ *
+ * Selection reuses the candidate machinery; the traffic-weighted
+ * variant scores candidates by execution counts gathered from a
+ * profiling run on the plain processor.
+ */
+
+#include <algorithm>
+
+#include "compress/compressor.hh"
+#include "compress/greedy.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "common.hh"
+
+using namespace codecomp;
+using namespace codecomp::bench;
+using namespace codecomp::compress;
+
+namespace {
+
+/** Execution count per instruction index, from a profiling run. */
+std::vector<uint64_t>
+profileProgram(const Program &program)
+{
+    std::vector<uint64_t> counts(program.text.size(), 0);
+    Cpu cpu(program);
+    cpu.setFetchHook([&counts, &program](uint32_t addr, uint32_t) {
+        ++counts[program.indexOfAddr(addr)];
+    });
+    cpu.run(1ull << 27);
+    return counts;
+}
+
+/** Greedy selection maximizing dynamic fetch-bytes saved. */
+SelectionResult
+selectByTraffic(const Program &program,
+                const std::vector<uint64_t> &exec_count,
+                uint32_t max_entries, uint32_t max_len,
+                unsigned cw_nibbles, unsigned insn_nibbles)
+{
+    Cfg cfg = Cfg::build(program);
+    std::vector<Candidate> candidates =
+        enumerateCandidates(program, cfg, 1, max_len);
+
+    // Dynamic nibbles saved by replacing one occurrence at position p:
+    // the whole sequence executes together (single basic block), so its
+    // execution count is the count of its first instruction.
+    auto traffic_savings = [&](const Candidate &cand,
+                               const std::vector<bool> &consumed) {
+        uint32_t length = static_cast<uint32_t>(cand.seq.size());
+        int64_t per_exec =
+            static_cast<int64_t>(insn_nibbles) * length - cw_nibbles;
+        int64_t total = 0;
+        uint64_t next_free = 0;
+        for (uint32_t pos : cand.positions) {
+            if (pos < next_free)
+                continue;
+            bool blocked = false;
+            for (uint32_t i = pos; i < pos + length; ++i)
+                if (consumed[i])
+                    blocked = true;
+            if (blocked)
+                continue;
+            total += per_exec * static_cast<int64_t>(exec_count[pos]);
+            next_free = static_cast<uint64_t>(pos) + length;
+        }
+        return total;
+    };
+
+    SelectionResult result;
+    std::vector<bool> consumed(program.text.size(), false);
+    while (result.dict.entries.size() < max_entries) {
+        int64_t best = 0;
+        uint32_t best_id = UINT32_MAX;
+        for (uint32_t id = 0; id < candidates.size(); ++id) {
+            int64_t savings = traffic_savings(candidates[id], consumed);
+            if (savings > best) {
+                best = savings;
+                best_id = id;
+            }
+        }
+        if (best_id == UINT32_MAX)
+            break;
+        const Candidate &cand = candidates[best_id];
+        uint32_t length = static_cast<uint32_t>(cand.seq.size());
+        uint32_t entry_id =
+            static_cast<uint32_t>(result.dict.entries.size());
+        uint32_t uses = 0;
+        uint64_t next_free = 0;
+        for (uint32_t pos : cand.positions) {
+            if (pos < next_free)
+                continue;
+            bool blocked = false;
+            for (uint32_t i = pos; i < pos + length; ++i)
+                if (consumed[i])
+                    blocked = true;
+            if (blocked)
+                continue;
+            for (uint32_t i = pos; i < pos + length; ++i)
+                consumed[i] = true;
+            result.placements.push_back({pos, length, entry_id});
+            ++uses;
+            next_free = static_cast<uint64_t>(pos) + length;
+        }
+        result.dict.entries.push_back(cand.seq);
+        result.useCount.push_back(uses);
+    }
+    std::sort(result.placements.begin(), result.placements.end(),
+              [](const Placement &a, const Placement &b) {
+                  return a.start < b.start;
+              });
+    return result;
+}
+
+/** Bytes moved by the compressed fetch unit over a full run. */
+uint64_t
+fetchedBytes(const CompressedImage &image)
+{
+    uint64_t bytes = 0;
+    CompressedCpu cpu(image);
+    cpu.setFetchHook(
+        [&bytes](uint32_t, uint32_t n) { bytes += n; });
+    cpu.run(1ull << 27);
+    return bytes;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: profile-guided selection",
+           "static-optimal vs traffic-optimal dictionaries (nibble, 64 "
+           "entries, <= 4 insns)");
+    std::printf("%-9s | %9s %9s | %11s %11s | %9s\n", "bench",
+                "size-s(B)", "size-t(B)", "fetch-s(B)", "fetch-t(B)",
+                "traffic");
+    for (const auto &[name, program] : buildSuite()) {
+        std::vector<uint64_t> profile = profileProgram(program);
+
+        CompressorConfig config;
+        config.scheme = Scheme::Nibble;
+        config.maxEntries = 64;
+        config.maxEntryLen = 4;
+        CompressedImage by_size = compressProgram(program, config);
+
+        SchemeParams params = schemeParams(Scheme::Nibble);
+        SelectionResult traffic_sel = selectByTraffic(
+            program, profile, 64, 4,
+            params.defaultAssumedCodewordNibbles, params.insnNibbles);
+        CompressedImage by_traffic =
+            compressWithSelection(program, config, std::move(traffic_sel));
+
+        uint64_t fetch_s = fetchedBytes(by_size);
+        uint64_t fetch_t = fetchedBytes(by_traffic);
+        std::printf("%-9s | %9zu %9zu | %11llu %11llu | %+7.1f%%\n",
+                    name.c_str(), by_size.totalBytes(),
+                    by_traffic.totalBytes(),
+                    static_cast<unsigned long long>(fetch_s),
+                    static_cast<unsigned long long>(fetch_t),
+                    100.0 * (static_cast<double>(fetch_t) -
+                             static_cast<double>(fetch_s)) /
+                        static_cast<double>(fetch_s));
+    }
+    std::printf("(s = size-optimal, t = traffic-optimal; the traffic "
+                "dictionary moves fewer bytes but compresses worse "
+                "statically)\n");
+    return 0;
+}

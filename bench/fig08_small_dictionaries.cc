@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 8: compression with small dictionaries -- 1-byte codewords
+ * (pure escape bytes built from the illegal opcodes), dictionaries of
+ * 8, 16, and 32 entries (128/256/512-byte dictionaries), entries up to
+ * 4 instructions.
+ *
+ * Paper: a 512-byte dictionary already yields ~15% average code
+ * reduction. Our SDTS output is more template-concentrated than GCC
+ * -O2, so our small-dictionary reductions run deeper (see
+ * EXPERIMENTS.md, deviation D2); the shape -- 8 -> 16 -> 32 entries
+ * keeps helping, and even tiny dictionaries pay off -- is what is
+ * reproduced here.
+ */
+
+#include "compress/compressor.hh"
+#include "common.hh"
+
+using namespace codecomp;
+using namespace codecomp::bench;
+
+int
+main()
+{
+    banner("Figure 8",
+           "compression ratio, 1-byte codewords, <= 4 insns/entry");
+    const unsigned budgets[] = {8, 16, 32};
+    std::printf("%-9s", "bench");
+    for (unsigned budget : budgets)
+        std::printf("  %2u entries (%3uB dict)", budget, budget * 16);
+    std::printf("\n");
+    for (const auto &[name, program] : buildSuite()) {
+        std::printf("%-9s", name.c_str());
+        for (unsigned budget : budgets) {
+            compress::CompressorConfig config;
+            config.scheme = compress::Scheme::OneByte;
+            config.maxEntries = budget;
+            config.maxEntryLen = 4;
+            compress::CompressedImage image =
+                compress::compressProgram(program, config);
+            std::printf("          %s   ",
+                        pct(image.compressionRatio()).c_str());
+        }
+        std::printf("\n");
+    }
+    std::printf("paper: 512-byte dictionary -> ~15%% average reduction; "
+                "shape: more entries always help\n");
+    return 0;
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the decode-efficiency discussion
+ * (paper section 2.1): dictionary decompression is a table lookup while
+ * entropy coding pays per-bit work. Measures compressor throughput,
+ * stream decode (item scan), and compressed vs native execution rates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/huffman.hh"
+#include "baselines/lzw.hh"
+#include "compress/compressor.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::compress;
+
+namespace {
+
+const Program &
+ijpeg()
+{
+    static Program program = workloads::buildBenchmark("ijpeg");
+    return program;
+}
+
+std::vector<uint8_t>
+ijpegBytes()
+{
+    std::vector<uint8_t> bytes;
+    for (isa::Word word : ijpeg().text) {
+        bytes.push_back(static_cast<uint8_t>(word >> 24));
+        bytes.push_back(static_cast<uint8_t>(word >> 16));
+        bytes.push_back(static_cast<uint8_t>(word >> 8));
+        bytes.push_back(static_cast<uint8_t>(word));
+    }
+    return bytes;
+}
+
+void
+BM_CompressProgram(benchmark::State &state)
+{
+    CompressorConfig config;
+    config.scheme = static_cast<Scheme>(state.range(0));
+    config.maxEntries = 8192;
+    for (auto _ : state) {
+        CompressedImage image = compressProgram(ijpeg(), config);
+        benchmark::DoNotOptimize(image.textNibbles);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            ijpeg().textBytes());
+}
+BENCHMARK(BM_CompressProgram)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_StreamDecode(benchmark::State &state)
+{
+    // The decompression engine's sequential scan: the per-item decode
+    // rule a hardware fetch stage applies.
+    CompressorConfig config;
+    config.scheme = static_cast<Scheme>(state.range(0));
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+    for (auto _ : state) {
+        DecompressionEngine engine(image);
+        benchmark::DoNotOptimize(engine.items().size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(
+                                image.compressedTextBytes()));
+}
+BENCHMARK(BM_StreamDecode)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_FetchExpand(benchmark::State &state)
+{
+    // Steady-state decode-stage work: random-access item lookup plus
+    // dictionary expansion -- the per-fetch cost a compressed-code
+    // processor pays (a table lookup, per paper section 2.1).
+    CompressorConfig config;
+    config.scheme = static_cast<Scheme>(state.range(0));
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+    DecompressionEngine engine(image);
+    std::vector<uint32_t> addrs;
+    for (const DecodedItem &item : engine.items())
+        addrs.push_back(item.nibbleAddr);
+    size_t insns = 0;
+    for (auto _ : state) {
+        uint64_t sink = 0;
+        insns = 0;
+        for (uint32_t addr : addrs) {
+            const DecodedItem &item = engine.itemAt(addr);
+            if (item.isCodeword) {
+                for (isa::Word word : engine.entry(item.rank)) {
+                    sink += word;
+                    ++insns;
+                }
+            } else {
+                sink += item.word;
+                ++insns;
+            }
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(insns));
+}
+BENCHMARK(BM_FetchExpand)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_HuffmanDecodeSameText(benchmark::State &state)
+{
+    // The CCRP-style comparison point: per-bit entropy decoding.
+    std::vector<uint8_t> bytes = ijpegBytes();
+    auto code =
+        baselines::HuffmanCode::build(baselines::byteFrequencies(bytes));
+    BitWriter writer;
+    for (uint8_t byte : bytes)
+        code.encode(writer, byte);
+    for (auto _ : state) {
+        BitReader reader(writer.bytes().data(), writer.bitCount());
+        uint32_t sink = 0;
+        for (size_t i = 0; i < bytes.size(); ++i)
+            sink += code.decode(reader);
+        benchmark::DoNotOptimize(sink);
+    }
+    // Items = instructions decoded (4 bytes each), comparable with
+    // BM_FetchExpand's items_per_second.
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(bytes.size() / 4));
+}
+BENCHMARK(BM_HuffmanDecodeSameText);
+
+void
+BM_LzwRoundTrip(benchmark::State &state)
+{
+    std::vector<uint8_t> bytes = ijpegBytes();
+    for (auto _ : state) {
+        auto compressed = baselines::lzwCompress(bytes);
+        benchmark::DoNotOptimize(compressed.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_LzwRoundTrip);
+
+void
+BM_NativeExecution(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ExecResult result = runProgram(ijpeg());
+        benchmark::DoNotOptimize(result.instCount);
+    }
+}
+BENCHMARK(BM_NativeExecution);
+
+void
+BM_CompressedExecution(benchmark::State &state)
+{
+    CompressorConfig config;
+    config.scheme = static_cast<Scheme>(state.range(0));
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+    for (auto _ : state) {
+        ExecResult result = runCompressed(image);
+        benchmark::DoNotOptimize(result.instCount);
+    }
+}
+BENCHMARK(BM_CompressedExecution)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

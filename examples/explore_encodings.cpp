@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CLI explorer: sweep compression parameters on any benchmark of the
+ * suite and print the trade-off table. Usage:
+ *
+ *   explore_encodings [benchmark] [maxEntryLen]
+ *
+ * Defaults to ijpeg with 4-instruction entries. This is the tool a
+ * system designer would use to size the dictionary memory of a
+ * compressed-code part.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "compress/compressor.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "ijpeg";
+    uint32_t max_len =
+        argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 4;
+
+    bool known = false;
+    for (const std::string &candidate : workloads::benchmarkNames())
+        known = known || candidate == name;
+    if (!known || max_len < 1 || max_len > 16) {
+        std::fprintf(stderr,
+                     "usage: explore_encodings [benchmark] [maxEntryLen]\n"
+                     "benchmarks:");
+        for (const std::string &candidate : workloads::benchmarkNames())
+            std::fprintf(stderr, " %s", candidate.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+
+    Program program = workloads::buildBenchmark(name);
+    ExecResult reference = runProgram(program);
+    std::printf("%s: %zu instructions, %u bytes .text, entries up to %u "
+                "instructions\n\n",
+                name.c_str(), program.text.size(), program.textBytes(),
+                max_len);
+    std::printf("%-16s %9s %9s %9s %9s %8s %9s\n", "scheme", "entries",
+                "text(B)", "dict(B)", "total(B)", "ratio", "verified");
+
+    struct Point
+    {
+        const char *label;
+        compress::Scheme scheme;
+        uint32_t entries;
+    };
+    const Point points[] = {
+        {"one-byte", compress::Scheme::OneByte, 8},
+        {"one-byte", compress::Scheme::OneByte, 16},
+        {"one-byte", compress::Scheme::OneByte, 32},
+        {"baseline", compress::Scheme::Baseline, 256},
+        {"baseline", compress::Scheme::Baseline, 1024},
+        {"baseline", compress::Scheme::Baseline, 8192},
+        {"nibble", compress::Scheme::Nibble, 256},
+        {"nibble", compress::Scheme::Nibble, 1024},
+        {"nibble", compress::Scheme::Nibble, 4680},
+    };
+    for (const Point &point : points) {
+        compress::CompressorConfig config;
+        config.scheme = point.scheme;
+        config.maxEntries = point.entries;
+        config.maxEntryLen = max_len;
+        compress::CompressedImage image =
+            compress::compressProgram(program, config);
+        ExecResult run = runCompressed(image);
+        bool ok = run.output == reference.output;
+        std::printf("%-16s %9zu %9zu %9zu %9zu %7.1f%% %9s\n", point.label,
+                    image.entriesByRank.size(),
+                    image.compressedTextBytes(), image.dictionaryBytes(),
+                    image.totalBytes(), image.compressionRatio() * 100,
+                    ok ? "yes" : "NO");
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}

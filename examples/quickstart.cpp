@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quickstart: the whole pipeline on a small program, ending in a
+ * Figure-2-style listing -- uncompressed code, compressed code, and
+ * dictionary side by side -- plus proof that the compressed program
+ * still runs.
+ *
+ *   MiniC source -> SDTS compiler -> Program
+ *   Program -> greedy dictionary + baseline encoding -> CompressedImage
+ *   CompressedImage -> CompressedCpu -> same output as the plain Cpu
+ */
+
+#include <cstdio>
+
+#include "codegen/codegen.hh"
+#include "compress/compressor.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "isa/disasm.hh"
+
+using namespace codecomp;
+
+int
+main()
+{
+    const char *source = R"(
+        int history[8];
+        int smooth(int sample, int previous) {
+            return (sample * 3 + previous) / 4;
+        }
+        int main() {
+            int i;
+            int level = 100;
+            for (i = 0; i < 8; i = i + 1) {
+                level = smooth(level + i * 7, level);
+                history[i] = level;
+            }
+            for (i = 0; i < 8; i = i + 1) puti(history[i]);
+            return level;
+        }
+    )";
+
+    std::printf("compiling MiniC source (%zu bytes)...\n",
+                std::string(source).size());
+    Program program = codegen::compile(source);
+    std::printf("linked program: %zu instructions (%u bytes of .text), "
+                "%zu functions\n\n",
+                program.text.size(), program.textBytes(),
+                program.functions.size());
+
+    compress::CompressorConfig config; // baseline scheme, 2-byte codewords
+    compress::CompressedImage image =
+        compress::compressProgram(program, config);
+
+    std::printf("compressed: %zu bytes text + %zu bytes dictionary = "
+                "%zu bytes (ratio %.1f%%)\n\n",
+                image.compressedTextBytes(), image.dictionaryBytes(),
+                image.totalBytes(), image.compressionRatio() * 100);
+
+    // Figure-2-style view of the start of main(): original instructions
+    // on the left, the compressed item stream on the right.
+    std::printf("--- paper Figure 2 view (first items of the stream) ---\n");
+    DecompressionEngine engine(image);
+    size_t shown = 0;
+    for (const DecodedItem &item : engine.items()) {
+        if (shown++ >= 16)
+            break;
+        if (item.isCodeword) {
+            std::printf("  CODEWORD #%-3u  -> {", item.rank);
+            for (isa::Word word : engine.entry(item.rank))
+                std::printf(" %s;", isa::disassembleWord(word).c_str());
+            std::printf(" }\n");
+        } else {
+            std::printf("  %s\n",
+                        isa::disassembleWord(item.word).c_str());
+        }
+    }
+
+    std::printf("\n--- dictionary head (by codeword rank) ---\n");
+    for (uint32_t rank = 0; rank < 5 && rank < image.entriesByRank.size();
+         ++rank) {
+        std::printf("  #%u:", rank);
+        for (isa::Word word : image.entriesByRank[rank])
+            std::printf("  [%s]", isa::disassembleWord(word).c_str());
+        std::printf("\n");
+    }
+
+    std::printf("\nrunning both processors...\n");
+    ExecResult plain = runProgram(program);
+    ExecResult compressed = runCompressed(image);
+    std::printf("plain output:      %s", plain.output.c_str());
+    std::printf("compressed output: %s", compressed.output.c_str());
+    std::printf("outputs %s, exit codes %d/%d, dynamic instructions "
+                "%llu/%llu\n",
+                plain.output == compressed.output ? "MATCH" : "DIFFER",
+                plain.exitCode, compressed.exitCode,
+                static_cast<unsigned long long>(plain.instCount),
+                static_cast<unsigned long long>(compressed.instCount));
+    return plain.output == compressed.output ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#include "analysis/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace codecomp::analysis {
+
+RedundancyProfile
+profileRedundancy(const Program &program)
+{
+    RedundancyProfile profile;
+    profile.totalInsns = static_cast<uint32_t>(program.text.size());
+
+    std::unordered_map<isa::Word, uint32_t> counts;
+    for (isa::Word word : program.text)
+        ++counts[word];
+
+    profile.distinctEncodings = static_cast<uint32_t>(counts.size());
+    for (const auto &[word, count] : counts) {
+        profile.countsDescending.push_back(count);
+        if (count == 1)
+            ++profile.usedOnce;
+        else
+            profile.insnsFromRepeated += count;
+    }
+    std::sort(profile.countsDescending.begin(),
+              profile.countsDescending.end(), std::greater<uint32_t>());
+    return profile;
+}
+
+double
+RedundancyProfile::topEncodingCoverage(double percent) const
+{
+    CC_ASSERT(percent > 0 && percent <= 100, "percent range");
+    size_t take = static_cast<size_t>(
+        std::ceil(countsDescending.size() * percent / 100.0));
+    take = std::min(take, countsDescending.size());
+    uint64_t covered = 0;
+    for (size_t i = 0; i < take; ++i)
+        covered += countsDescending[i];
+    return static_cast<double>(covered) / totalInsns;
+}
+
+BranchOffsetUsage
+analyzeBranchOffsets(const Program &program)
+{
+    BranchOffsetUsage usage;
+    for (uint32_t i = 0; i < program.text.size(); ++i) {
+        isa::Inst inst = isa::decode(program.text[i]);
+        if (!inst.isRelativeBranch() || inst.aa)
+            continue;
+        ++usage.pcRelativeBranches;
+        unsigned bits = inst.op == isa::Op::B ? 24 : 14;
+        // Byte distance to the target in the uncompressed program; at
+        // granularity g bytes the field must hold distance / g.
+        int64_t byte_delta =
+            (static_cast<int64_t>(program.branchTargetIndex(i)) -
+             static_cast<int64_t>(i)) *
+            isa::instBytes;
+        if (!isa::fitsSigned(byte_delta / 2, bits))
+            ++usage.lack2Byte;
+        if (!isa::fitsSigned(byte_delta, bits))
+            ++usage.lack1Byte;
+        if (!isa::fitsSigned(byte_delta * 2, bits))
+            ++usage.lack4Bit;
+    }
+    return usage;
+}
+
+PrologueEpilogue
+analyzePrologueEpilogue(const Program &program)
+{
+    PrologueEpilogue stats;
+    stats.totalInsns = static_cast<uint32_t>(program.text.size());
+    for (const FunctionSymbol &fn : program.functions) {
+        stats.prologueInsns += fn.prologue.count;
+        for (const InstRange &ep : fn.epilogues)
+            stats.epilogueInsns += ep.count;
+    }
+    return stats;
+}
+
+DictionaryUsage
+analyzeDictionaryUsage(const compress::CompressedImage &image)
+{
+    DictionaryUsage usage;
+    const compress::SelectionResult &sel = image.selection;
+    unsigned insn_nibbles =
+        compress::schemeParams(image.scheme).insnNibbles;
+
+    for (uint32_t id = 0; id < sel.dict.entries.size(); ++id) {
+        uint32_t length =
+            static_cast<uint32_t>(sel.dict.entries[id].size());
+        uint32_t rank = image.rankOfEntry[id];
+        unsigned cw_nibbles =
+            compress::codewordNibbles(image.scheme, rank);
+        int64_t saved_nibbles =
+            static_cast<int64_t>(sel.useCount[id]) *
+                (static_cast<int64_t>(insn_nibbles) * length -
+                 cw_nibbles) -
+            8ll * length; // dictionary storage cost
+        ++usage.entriesByLength[length];
+        usage.bytesSavedByLength[length] += saved_nibbles / 2;
+        ++usage.totalEntries;
+        usage.totalBytesSaved += saved_nibbles / 2;
+    }
+    return usage;
+}
+
+} // namespace codecomp::analysis

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Static program analyses backing the paper's characterization tables
+ * and figures: instruction-encoding redundancy (Fig 1), branch-offset
+ * field usage (Table 1), prologue/epilogue fractions (Table 3), and
+ * dictionary-usage breakdowns (Figs 6, 7, 9).
+ */
+
+#ifndef CODECOMP_ANALYSIS_ANALYSIS_HH
+#define CODECOMP_ANALYSIS_ANALYSIS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "compress/image.hh"
+#include "program/program.hh"
+
+namespace codecomp::analysis {
+
+/** Figure 1: how often distinct instruction encodings repeat. */
+struct RedundancyProfile
+{
+    uint32_t totalInsns = 0;
+    uint32_t distinctEncodings = 0;
+    uint32_t usedOnce = 0;       //!< encodings appearing exactly once
+    uint32_t insnsFromRepeated = 0; //!< instructions whose encoding repeats
+
+    /** Fraction of the program made of once-used encodings. */
+    double fractionSingleUse() const
+    {
+        return static_cast<double>(usedOnce) / totalInsns;
+    }
+
+    /** Fraction of the program made of repeated encodings. */
+    double fractionRepeated() const
+    {
+        return static_cast<double>(insnsFromRepeated) / totalInsns;
+    }
+
+    /**
+     * Cumulative coverage: fraction of program size accounted for by
+     * the most frequent @p percent of distinct instruction words (the
+     * paper's "1% of the most frequent instruction words account for
+     * 30% of the program size" statistic for go).
+     */
+    double topEncodingCoverage(double percent) const;
+
+    std::vector<uint32_t> countsDescending; //!< per distinct encoding
+};
+
+RedundancyProfile profileRedundancy(const Program &program);
+
+/** Table 1: PC-relative branch offset field headroom. */
+struct BranchOffsetUsage
+{
+    uint32_t pcRelativeBranches = 0;
+    /** Branches whose offset field is too narrow to address targets at
+     *  2-byte / 1-byte / 4-bit granularity. */
+    uint32_t lack2Byte = 0;
+    uint32_t lack1Byte = 0;
+    uint32_t lack4Bit = 0;
+};
+
+BranchOffsetUsage analyzeBranchOffsets(const Program &program);
+
+/** Table 3: static prologue/epilogue instruction fractions. */
+struct PrologueEpilogue
+{
+    uint32_t totalInsns = 0;
+    uint32_t prologueInsns = 0;
+    uint32_t epilogueInsns = 0;
+
+    double prologueFraction() const
+    {
+        return static_cast<double>(prologueInsns) / totalInsns;
+    }
+    double epilogueFraction() const
+    {
+        return static_cast<double>(epilogueInsns) / totalInsns;
+    }
+};
+
+PrologueEpilogue analyzePrologueEpilogue(const Program &program);
+
+/** Figures 6 and 7: dictionary composition and savings by entry
+ *  length, computed from a compression result. */
+struct DictionaryUsage
+{
+    /** entry length (instructions) -> number of dictionary entries. */
+    std::map<uint32_t, uint32_t> entriesByLength;
+    /** entry length -> bytes removed from the program by entries of
+     *  that length (occurrences * (entry bytes - codeword bytes)). */
+    std::map<uint32_t, int64_t> bytesSavedByLength;
+    uint32_t totalEntries = 0;
+    int64_t totalBytesSaved = 0;
+};
+
+DictionaryUsage analyzeDictionaryUsage(const compress::CompressedImage &img);
+
+} // namespace codecomp::analysis
+
+#endif // CODECOMP_ANALYSIS_ANALYSIS_HH

@@ -1,0 +1,59 @@
+#include "baselines/ccrp.hh"
+
+#include "baselines/huffman.hh"
+#include "support/logging.hh"
+
+namespace codecomp::baselines {
+
+namespace {
+
+std::vector<uint8_t>
+textBytes(const Program &program)
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(program.text.size() * 4);
+    for (isa::Word word : program.text) {
+        bytes.push_back(static_cast<uint8_t>(word >> 24));
+        bytes.push_back(static_cast<uint8_t>(word >> 16));
+        bytes.push_back(static_cast<uint8_t>(word >> 8));
+        bytes.push_back(static_cast<uint8_t>(word));
+    }
+    return bytes;
+}
+
+} // namespace
+
+CcrpResult
+ccrpCompress(const Program &program, unsigned line_size)
+{
+    CC_ASSERT(line_size >= 4 && line_size % 4 == 0, "bad line size");
+    std::vector<uint8_t> bytes = textBytes(program);
+
+    CcrpResult result;
+    result.originalBytes = bytes.size();
+    result.lineSize = line_size;
+
+    HuffmanCode code = HuffmanCode::build(byteFrequencies(bytes));
+    result.tableBytes = HuffmanCode::tableBytes;
+
+    size_t lines = (bytes.size() + line_size - 1) / line_size;
+    result.latBytes = lines * 4;
+
+    for (size_t line = 0; line < lines; ++line) {
+        size_t begin = line * line_size;
+        size_t end = std::min(bytes.size(), begin + line_size);
+        BitWriter writer;
+        for (size_t i = begin; i < end; ++i)
+            code.encode(writer, bytes[i]);
+        result.compressedLineBytes += writer.sizeBytes();
+
+        // Self-check: the line decodes back exactly.
+        BitReader reader(writer.bytes().data(), writer.bitCount());
+        for (size_t i = begin; i < end; ++i)
+            CC_ASSERT(code.decode(reader) == bytes[i],
+                      "CCRP line round-trip failed");
+    }
+    return result;
+}
+
+} // namespace codecomp::baselines

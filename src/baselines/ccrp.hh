@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CCRP comparator (paper section 2.3): Wolfe & Chanin's Compressed
+ * Code RISC Processor. Instruction memory is Huffman-compressed one
+ * cache line at a time; compressed lines are byte-aligned so the cache
+ * refill engine can start decoding anywhere, and a Line Address Table
+ * (LAT) maps each line's original address to its compressed location.
+ *
+ * Overheads counted in the compressed size, per the paper's accounting
+ * style: the byte-rounded compressed lines, one 4-byte LAT entry per
+ * line, and the 256-byte canonical Huffman length table.
+ */
+
+#ifndef CODECOMP_BASELINES_CCRP_HH
+#define CODECOMP_BASELINES_CCRP_HH
+
+#include <cstddef>
+
+#include "program/program.hh"
+
+namespace codecomp::baselines {
+
+struct CcrpResult
+{
+    size_t originalBytes = 0;
+    size_t compressedLineBytes = 0; //!< byte-rounded Huffman lines
+    size_t latBytes = 0;
+    size_t tableBytes = 0;
+    unsigned lineSize = 0;
+
+    size_t
+    totalBytes() const
+    {
+        return compressedLineBytes + latBytes + tableBytes;
+    }
+
+    double
+    compressionRatio() const
+    {
+        return static_cast<double>(totalBytes()) / originalBytes;
+    }
+};
+
+/** Compress @p program's .text in CCRP style; round-trips each line as
+ *  a self-check. */
+CcrpResult ccrpCompress(const Program &program, unsigned line_size = 32);
+
+} // namespace codecomp::baselines
+
+#endif // CODECOMP_BASELINES_CCRP_HH

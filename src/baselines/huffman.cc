@@ -1,0 +1,148 @@
+#include "baselines/huffman.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace codecomp::baselines {
+
+std::array<uint64_t, 256>
+byteFrequencies(const std::vector<uint8_t> &bytes)
+{
+    std::array<uint64_t, 256> freq{};
+    for (uint8_t byte : bytes)
+        ++freq[byte];
+    return freq;
+}
+
+HuffmanCode
+HuffmanCode::build(const std::array<uint64_t, 256> &freq)
+{
+    struct Node
+    {
+        uint64_t weight;
+        uint32_t id; //!< deterministic tie-break; also index
+        int left = -1;
+        int right = -1;
+        uint8_t symbol = 0;
+    };
+    std::vector<Node> nodes;
+    auto cmp = [&nodes](uint32_t a, uint32_t b) {
+        if (nodes[a].weight != nodes[b].weight)
+            return nodes[a].weight > nodes[b].weight;
+        return nodes[a].id > nodes[b].id;
+    };
+    std::priority_queue<uint32_t, std::vector<uint32_t>, decltype(cmp)>
+        heap(cmp);
+
+    for (unsigned s = 0; s < 256; ++s) {
+        if (freq[s] == 0)
+            continue;
+        nodes.push_back({freq[s], static_cast<uint32_t>(nodes.size()), -1,
+                         -1, static_cast<uint8_t>(s)});
+        heap.push(static_cast<uint32_t>(nodes.size() - 1));
+    }
+    CC_ASSERT(!nodes.empty(), "no symbols to code");
+
+    HuffmanCode code;
+    if (nodes.size() == 1) {
+        code.lengths_[nodes[0].symbol] = 1;
+    } else {
+        while (heap.size() > 1) {
+            uint32_t a = heap.top();
+            heap.pop();
+            uint32_t b = heap.top();
+            heap.pop();
+            nodes.push_back({nodes[a].weight + nodes[b].weight,
+                             static_cast<uint32_t>(nodes.size()),
+                             static_cast<int>(a), static_cast<int>(b), 0});
+            heap.push(static_cast<uint32_t>(nodes.size() - 1));
+        }
+        // Depth-first traversal assigns lengths.
+        std::vector<std::pair<uint32_t, unsigned>> stack = {
+            {heap.top(), 0}};
+        while (!stack.empty()) {
+            auto [idx, depth] = stack.back();
+            stack.pop_back();
+            const Node &node = nodes[idx];
+            if (node.left < 0) {
+                CC_ASSERT(depth <= 32, "code too long");
+                code.lengths_[node.symbol] =
+                    static_cast<uint8_t>(depth);
+            } else {
+                stack.push_back(
+                    {static_cast<uint32_t>(node.left), depth + 1});
+                stack.push_back(
+                    {static_cast<uint32_t>(node.right), depth + 1});
+            }
+        }
+    }
+
+    // Canonical assignment: sort symbols by (length, value).
+    std::vector<uint8_t> symbols;
+    for (unsigned s = 0; s < 256; ++s)
+        if (code.lengths_[s] > 0)
+            symbols.push_back(static_cast<uint8_t>(s));
+    std::sort(symbols.begin(), symbols.end(),
+              [&code](uint8_t a, uint8_t b) {
+                  if (code.lengths_[a] != code.lengths_[b])
+                      return code.lengths_[a] < code.lengths_[b];
+                  return a < b;
+              });
+    uint32_t next = 0;
+    unsigned prev_len = code.lengths_[symbols[0]];
+    code.firstCode_.fill(UINT32_MAX);
+    code.firstCode_[prev_len] = 0;
+    code.firstIndex_[prev_len] = 0;
+    for (size_t i = 0; i < symbols.size(); ++i) {
+        unsigned len = code.lengths_[symbols[i]];
+        if (len > prev_len) {
+            next <<= (len - prev_len);
+            code.firstCode_[len] = next;
+            code.firstIndex_[len] = static_cast<uint32_t>(i);
+            prev_len = len;
+        }
+        code.codes_[symbols[i]] = next++;
+    }
+    code.symbolsByCode_ = std::move(symbols);
+    return code;
+}
+
+void
+HuffmanCode::encode(BitWriter &writer, uint8_t symbol) const
+{
+    CC_ASSERT(lengths_[symbol] > 0, "symbol has no code");
+    writer.putBits(codes_[symbol], lengths_[symbol]);
+}
+
+uint8_t
+HuffmanCode::decode(BitReader &reader) const
+{
+    uint32_t value = 0;
+    for (unsigned len = 1; len <= 32; ++len) {
+        value = (value << 1) | (reader.getBit() ? 1u : 0u);
+        if (firstCode_[len] == UINT32_MAX)
+            continue;
+        // Number of codes of this length = distance to next length's
+        // first index.
+        uint32_t index = firstIndex_[len] + (value - firstCode_[len]);
+        if (value >= firstCode_[len] && index < symbolsByCode_.size()) {
+            uint8_t symbol = symbolsByCode_[index];
+            if (lengths_[symbol] == len)
+                return symbol;
+        }
+    }
+    CC_PANIC("bad Huffman stream");
+}
+
+uint64_t
+HuffmanCode::measure(const std::vector<uint8_t> &bytes) const
+{
+    uint64_t bits = 0;
+    for (uint8_t byte : bytes)
+        bits += lengths_[byte];
+    return bits;
+}
+
+} // namespace codecomp::baselines

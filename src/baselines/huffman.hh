@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Canonical Huffman coding over the byte alphabet -- the entropy-coding
+ * substrate for the CCRP comparator (paper section 2.3) and for
+ * entropy-bound analyses.
+ */
+
+#ifndef CODECOMP_BASELINES_HUFFMAN_HH
+#define CODECOMP_BASELINES_HUFFMAN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/bitstream.hh"
+
+namespace codecomp::baselines {
+
+/** A canonical Huffman code for bytes. */
+class HuffmanCode
+{
+  public:
+    /** Build from symbol frequencies (zeros allowed; at least one
+     *  nonzero required). */
+    static HuffmanCode build(const std::array<uint64_t, 256> &freq);
+
+    /** Code length in bits for @p symbol (0 if never coded). */
+    unsigned length(uint8_t symbol) const { return lengths_[symbol]; }
+
+    /** Append the code for @p symbol. */
+    void encode(BitWriter &writer, uint8_t symbol) const;
+
+    /** Read one symbol. */
+    uint8_t decode(BitReader &reader) const;
+
+    /** Total bits to code @p bytes. */
+    uint64_t measure(const std::vector<uint8_t> &bytes) const;
+
+    /** Serialized table size in bytes (one length byte per symbol). */
+    static constexpr size_t tableBytes = 256;
+
+  private:
+    std::array<uint8_t, 256> lengths_{};
+    std::array<uint32_t, 256> codes_{};
+    /** Canonical decoding acceleration: for each length, the first
+     *  code value and the index of its first symbol. */
+    std::array<uint32_t, 33> firstCode_{};
+    std::array<uint32_t, 33> firstIndex_{};
+    std::vector<uint8_t> symbolsByCode_;
+};
+
+/** Byte frequencies of @p bytes. */
+std::array<uint64_t, 256> byteFrequencies(const std::vector<uint8_t> &bytes);
+
+} // namespace codecomp::baselines
+
+#endif // CODECOMP_BASELINES_HUFFMAN_HH

@@ -1,0 +1,51 @@
+#include "baselines/liao.hh"
+
+#include "compress/greedy.hh"
+#include "support/logging.hh"
+
+namespace codecomp::baselines {
+
+LiaoResult
+liaoCompress(const Program &program, const LiaoConfig &config)
+{
+    CC_ASSERT(config.codewordWords == 1 || config.codewordWords == 2,
+              "Liao codewords are 1 or 2 instruction words");
+
+    compress::GreedyConfig greedy;
+    greedy.maxEntries = config.maxEntries;
+    greedy.maxEntryLen = config.maxEntryLen;
+    greedy.insnNibbles = 8;
+    if (config.softwareMethod) {
+        // Occurrence -> 1-word call; entry costs its body + a return.
+        greedy.codewordNibbles = 8;
+        greedy.dictEntryNibbles = 8;
+        greedy.dictEntryExtraNibbles = 8;
+        greedy.minEntryLen = 2;
+    } else {
+        greedy.codewordNibbles = config.codewordWords * 8;
+        greedy.dictEntryNibbles = 8;
+        greedy.minEntryLen = config.codewordWords + 1;
+    }
+
+    compress::SelectionResult sel =
+        compress::selectGreedy(program, greedy);
+
+    LiaoResult result;
+    result.originalBytes = program.textBytes();
+    result.entries = static_cast<uint32_t>(sel.dict.entries.size());
+    result.replacements = static_cast<uint32_t>(sel.placements.size());
+
+    int64_t saved_nibbles = 0;
+    for (uint32_t id = 0; id < sel.dict.entries.size(); ++id) {
+        uint32_t length =
+            static_cast<uint32_t>(sel.dict.entries[id].size());
+        saved_nibbles +=
+            compress::savingsNibbles(greedy, length, sel.useCount[id]);
+    }
+    CC_ASSERT(saved_nibbles >= 0, "negative total savings");
+    result.compressedBytes =
+        result.originalBytes - static_cast<size_t>(saved_nibbles / 2);
+    return result;
+}
+
+} // namespace codecomp::baselines

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Liao's compression methods (paper sections 2.4 and 4.1.1).
+ *
+ * Software method: common sequences become "mini-subroutines" -- each
+ * occurrence is replaced by a 1-word call, and the sequence is stored
+ * once in .text with a 1-word return appended.
+ *
+ * Hardware method: a call-dictionary instruction of 1 or 2 instruction
+ * words (location + length fields) replaces each occurrence; the
+ * sequence is stored in a dictionary. Entries must be strictly longer
+ * than the codeword or no compression results, which is why Liao cannot
+ * compress single instructions -- the limitation the paper's scheme
+ * removes.
+ */
+
+#ifndef CODECOMP_BASELINES_LIAO_HH
+#define CODECOMP_BASELINES_LIAO_HH
+
+#include "compress/selection.hh"
+#include "program/program.hh"
+
+namespace codecomp::baselines {
+
+struct LiaoConfig
+{
+    /** Codeword size in instruction words (1 or 2). */
+    uint32_t codewordWords = 1;
+    /** Max sequence length in instructions. */
+    uint32_t maxEntryLen = 8;
+    /** Software (mini-subroutine) method instead of call-dictionary. */
+    bool softwareMethod = false;
+    /** Dictionary entry budget (bounded by the location field). */
+    uint32_t maxEntries = 8192;
+};
+
+struct LiaoResult
+{
+    size_t originalBytes = 0;
+    size_t compressedBytes = 0;
+    uint32_t entries = 0;
+    uint32_t replacements = 0;
+
+    double
+    compressionRatio() const
+    {
+        return static_cast<double>(compressedBytes) / originalBytes;
+    }
+};
+
+/** Apply Liao's method to @p program's .text and account sizes. */
+LiaoResult liaoCompress(const Program &program, const LiaoConfig &config);
+
+} // namespace codecomp::baselines
+
+#endif // CODECOMP_BASELINES_LIAO_HH

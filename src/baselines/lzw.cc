@@ -1,0 +1,110 @@
+#include "baselines/lzw.hh"
+
+#include <string>
+#include <unordered_map>
+
+#include "support/bitstream.hh"
+#include "support/logging.hh"
+
+namespace codecomp::baselines {
+
+namespace {
+
+constexpr unsigned minWidth = 9;
+constexpr unsigned maxWidth = 16;
+constexpr uint32_t firstFree = 256;
+constexpr uint32_t maxCodes = 1u << maxWidth;
+
+/** compress(1)-style 3-byte header: magic + max-bits flag. */
+const uint8_t header[3] = {0x1f, 0x9d, 0x90};
+
+} // namespace
+
+std::vector<uint8_t>
+lzwCompress(const std::vector<uint8_t> &input)
+{
+    std::vector<uint8_t> out(header, header + 3);
+    if (input.empty())
+        return out;
+
+    std::unordered_map<uint32_t, uint32_t> dict;
+    uint32_t next = firstFree;
+    unsigned width = minWidth;
+    BitWriter writer;
+
+    uint32_t w = input[0];
+    for (size_t i = 1; i < input.size(); ++i) {
+        uint32_t key = (w << 8) | input[i];
+        auto it = dict.find(key);
+        if (it != dict.end()) {
+            w = it->second;
+            continue;
+        }
+        writer.putBits(w, width);
+        if (next < maxCodes) {
+            dict.emplace(key, next);
+            ++next;
+            if (next == (1u << width) && width < maxWidth)
+                ++width;
+        }
+        w = input[i];
+    }
+    writer.putBits(w, width);
+
+    out.insert(out.end(), writer.bytes().begin(), writer.bytes().end());
+    return out;
+}
+
+std::vector<uint8_t>
+lzwDecompress(const std::vector<uint8_t> &compressed)
+{
+    CC_ASSERT(compressed.size() >= 3 && compressed[0] == header[0] &&
+                  compressed[1] == header[1],
+              "bad LZW header");
+    std::vector<uint8_t> out;
+    if (compressed.size() == 3)
+        return out;
+
+    std::vector<std::string> table(256);
+    for (unsigned s = 0; s < 256; ++s)
+        table[s] = std::string(1, static_cast<char>(s));
+    table.reserve(maxCodes);
+
+    BitReader reader(compressed.data() + 3, (compressed.size() - 3) * 8);
+    uint32_t next = firstFree;
+    unsigned width = minWidth;
+
+    uint32_t prev = reader.getBits(width);
+    CC_ASSERT(prev < 256, "bad first code");
+    out.push_back(static_cast<uint8_t>(prev));
+
+    for (;;) {
+        // Mirror the encoder: an entry was assigned after the previous
+        // emission (unless the table is frozen), possibly widening.
+        int64_t pending = -1;
+        if (next < maxCodes) {
+            pending = next;
+            ++next;
+            if (next == (1u << width) && width < maxWidth)
+                ++width;
+        }
+        if (reader.size() - reader.pos() < width)
+            break; // only byte padding (< 9 bits) remains
+        uint32_t code = reader.getBits(width);
+        std::string str;
+        if (pending >= 0 && code == static_cast<uint32_t>(pending)) {
+            // The KwKwK case: the entry being defined right now.
+            str = table[prev] + table[prev][0];
+        } else {
+            CC_ASSERT(code < table.size(), "bad LZW code");
+            str = table[code];
+        }
+        if (pending >= 0)
+            table.push_back(table[prev] + str[0]);
+        out.insert(out.end(), str.begin(), str.end());
+        prev = code;
+    }
+    return out;
+}
+
+} // namespace codecomp::baselines

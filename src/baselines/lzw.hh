@@ -1,0 +1,29 @@
+/**
+ * @file
+ * LZW compression in the style of Unix compress(1) (LZC): the adaptive
+ * dictionary comparator of the paper's Figure 11.
+ *
+ * Codes grow from 9 to 16 bits; when the dictionary fills it is frozen
+ * (compress(1) additionally resets on degradation in block mode; our
+ * inputs are far smaller than the 65536-entry table, so the reset path
+ * never triggers and is omitted). A 3-byte header mirrors compress(1)'s
+ * magic + flags overhead.
+ */
+
+#ifndef CODECOMP_BASELINES_LZW_HH
+#define CODECOMP_BASELINES_LZW_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace codecomp::baselines {
+
+/** Compress @p input; returns header + packed codes. */
+std::vector<uint8_t> lzwCompress(const std::vector<uint8_t> &input);
+
+/** Invert lzwCompress exactly. */
+std::vector<uint8_t> lzwDecompress(const std::vector<uint8_t> &compressed);
+
+} // namespace codecomp::baselines
+
+#endif // CODECOMP_BASELINES_LZW_HH

@@ -1,0 +1,71 @@
+#include "cache/icache.hh"
+
+#include "support/logging.hh"
+
+namespace codecomp::cache {
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace
+
+ICache::ICache(const CacheConfig &config) : config_(config)
+{
+    CC_ASSERT(isPowerOfTwo(config.lineBytes) && config.lineBytes >= 4,
+              "line size must be a power of two >= 4");
+    CC_ASSERT(config.ways >= 1, "need at least one way");
+    CC_ASSERT(config.capacityBytes % (config.lineBytes * config.ways) == 0,
+              "capacity must be a whole number of sets");
+    CC_ASSERT(isPowerOfTwo(config.numSets()), "set count power of two");
+    ways_.resize(static_cast<size_t>(config.numSets()) * config.ways);
+}
+
+void
+ICache::reset()
+{
+    std::fill(ways_.begin(), ways_.end(), Way{});
+    stats_ = CacheStats{};
+    tick_ = 0;
+}
+
+void
+ICache::touch(uint32_t addr)
+{
+    uint32_t line = addr / config_.lineBytes;
+    uint32_t set = line & (config_.numSets() - 1);
+    uint64_t tag = line / config_.numSets();
+
+    Way *base = &ways_[static_cast<size_t>(set) * config_.ways];
+    ++stats_.accesses;
+    ++tick_;
+
+    Way *victim = base;
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (base[w].tag == tag) {
+            base[w].lastUse = tick_;
+            return; // hit
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    ++stats_.misses;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+}
+
+void
+ICache::access(uint32_t addr, uint32_t bytes)
+{
+    CC_ASSERT(bytes >= 1, "empty access");
+    uint32_t first_line = addr / config_.lineBytes;
+    uint32_t last_line = (addr + bytes - 1) / config_.lineBytes;
+    for (uint32_t line = first_line; line <= last_line; ++line)
+        touch(line * config_.lineBytes);
+}
+
+} // namespace codecomp::cache

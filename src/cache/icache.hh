@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Instruction-cache model.
+ *
+ * The paper motivates compression partly through the memory system:
+ * "Reducing program size is one way to reduce instruction cache misses
+ * and achieve higher performance [Chen97b]". This set-associative,
+ * LRU, configurable-line cache model is driven by the fetch streams of
+ * both processors (Cpu fetches 4-byte instructions; CompressedCpu
+ * fetches variable-size items from the compressed image), so the
+ * locality benefit of compressed code can be measured directly
+ * (bench/ext_icache).
+ */
+
+#ifndef CODECOMP_CACHE_ICACHE_HH
+#define CODECOMP_CACHE_ICACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace codecomp::cache {
+
+struct CacheConfig
+{
+    uint32_t capacityBytes = 1024;
+    uint32_t lineBytes = 32;
+    uint32_t ways = 1; //!< 1 = direct-mapped
+
+    uint32_t numSets() const
+    {
+        return capacityBytes / (lineBytes * ways);
+    }
+};
+
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) / accesses;
+    }
+};
+
+/** Set-associative LRU instruction cache. */
+class ICache
+{
+  public:
+    explicit ICache(const CacheConfig &config);
+
+    /**
+     * Access @p bytes bytes starting at @p addr (an access that spans
+     * a line boundary touches both lines, like a real fetch unit's
+     * sequential refill).
+     */
+    void access(uint32_t addr, uint32_t bytes);
+
+    /** Probe a single line containing @p addr. */
+    void touch(uint32_t addr);
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+    void reset();
+
+  private:
+    struct Way
+    {
+        uint64_t tag = UINT64_MAX;
+        uint64_t lastUse = 0;
+    };
+
+    CacheConfig config_;
+    std::vector<Way> ways_; //!< numSets * ways, row-major by set
+    CacheStats stats_;
+    uint64_t tick_ = 0;
+};
+
+} // namespace codecomp::cache
+
+#endif // CODECOMP_CACHE_ICACHE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Abstract syntax tree for MiniC.
+ *
+ * Every value is a 32-bit signed int; arrays are one-dimensional.
+ * Assignments are statements (not expressions), which keeps the SDTS
+ * templates simple and regular -- exactly the property the paper's
+ * compression method exploits.
+ */
+
+#ifndef CODECOMP_CODEGEN_AST_HH
+#define CODECOMP_CODEGEN_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace codecomp::codegen {
+
+enum class BinOp : uint8_t {
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LogAnd, LogOr,
+};
+
+enum class UnOp : uint8_t {
+    Neg,
+    Not,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+    IntLit,  //!< value
+    Var,     //!< name (scalar variable)
+    Index,   //!< name[lhs]
+    Unary,   //!< unop lhs
+    Binary,  //!< lhs binop rhs
+    Call,    //!< name(args...); includes the builtins putc/puti/exit
+};
+
+struct Expr
+{
+    ExprKind kind;
+    int32_t value = 0;
+    std::string name;
+    UnOp unop = UnOp::Neg;
+    BinOp binop = BinOp::Add;
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;
+    int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+    Block,     //!< body
+    LocalDecl, //!< int name [arraySize]? (= init)?
+    Assign,    //!< name (= value) or name[index] = value
+    ExprStmt,  //!< expr; (usually a call)
+    If,        //!< cond, thenStmt, elseStmt?
+    While,     //!< cond, body[0]
+    DoWhile,   //!< body[0], cond
+    For,       //!< init?, cond?, step?, body[0]
+    Return,    //!< expr? (defaults to 0)
+    Break,
+    Continue,
+    Switch,    //!< cond = selector; cases; defaultBody
+};
+
+/** One `case N:` arm with its statements (falls through like C). */
+struct SwitchCase
+{
+    int32_t value = 0;
+    std::vector<StmtPtr> body;
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    std::string name;
+    int32_t arraySize = 0; //!< 0 for scalar LocalDecl
+    ExprPtr index;         //!< Assign to array element
+    ExprPtr cond;          //!< If/While/DoWhile/For cond; Switch selector;
+                           //!< Assign value; Return value; ExprStmt expr
+    ExprPtr init;          //!< LocalDecl initializer
+    StmtPtr initStmt;      //!< For init
+    StmtPtr stepStmt;      //!< For step
+    StmtPtr thenStmt;      //!< If then
+    StmtPtr elseStmt;      //!< If else
+    std::vector<StmtPtr> body;
+    std::vector<SwitchCase> cases;
+    std::vector<StmtPtr> defaultBody;
+    bool hasDefault = false;
+    int line = 0;
+};
+
+/** A global variable: scalar or array, with optional initializers. */
+struct GlobalDecl
+{
+    std::string name;
+    int32_t arraySize = 0; //!< 0 for scalar
+    std::vector<int32_t> init;
+};
+
+struct Function
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+/** A whole translation unit. */
+struct TranslationUnit
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<Function> functions;
+};
+
+} // namespace codecomp::codegen
+
+#endif // CODECOMP_CODEGEN_AST_HH

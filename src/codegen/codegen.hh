@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SDTS code generator for MiniC, targeting ppclite.
+ *
+ * The generator is a deliberately template-driven syntax-directed
+ * translation scheme (paper section 1.1): every AST production expands
+ * to a fixed instruction template, so compiled programs exhibit the
+ * high instruction-encoding redundancy the compression method exploits.
+ *
+ * Register conventions:
+ *   r0        scratch (shift amounts, LR shuttle, syscall numbers)
+ *   r1        stack pointer
+ *   r2        reserved for the compressor's far-branch rewriting
+ *   r3..r10   argument / return registers (caller-saved)
+ *   r5..r12   expression evaluation stack (caller-saved)
+ *   r13       address-materialization temporary
+ *   r14..r31  callee-saved; allocated to named scalar locals
+ */
+
+#ifndef CODECOMP_CODEGEN_CODEGEN_HH
+#define CODECOMP_CODEGEN_CODEGEN_HH
+
+#include <string>
+
+#include "codegen/ast.hh"
+#include "link/object.hh"
+#include "program/program.hh"
+
+namespace codecomp::codegen {
+
+/** Compilation options. */
+struct CompileOptions
+{
+    /** Link the MiniC runtime library (statically, as the paper's
+     *  benchmarks linked libc). */
+    bool includeRuntime = true;
+
+    /**
+     * The paper's section-5 proposal: standardize function frames so
+     * prologues and epilogues become byte-identical across functions
+     * and compress to single codewords. Every function whose locals
+     * fit uses the same frame size and saves *all* callee-saved
+     * registers, trading execution time (extra saves/restores) for
+     * code size.
+     */
+    bool standardizedFrames = false;
+
+    /** Frame size used when standardizedFrames is set and fits. */
+    int32_t standardFrameBytes = 256;
+};
+
+/**
+ * Compile MiniC source into a linked Program (separate compilation of
+ * the translation unit and, when options.includeRuntime is set, the
+ * runtime library, followed by a static link); fatal on errors.
+ */
+Program compile(const std::string &source,
+                const CompileOptions &options = {});
+
+/** Compile an already-parsed unit and link it (with the runtime when
+ *  options.includeRuntime is set). */
+Program compileUnit(const TranslationUnit &unit,
+                    const CompileOptions &options = {});
+
+/** Separate compilation: one translation unit -> one relocatable
+ *  object module (no runtime, no linking). */
+link::ObjectModule compileModule(const std::string &source,
+                                 const std::string &module_name,
+                                 const CompileOptions &options = {});
+
+/** Compile an already-parsed unit to an object module. */
+link::ObjectModule compileModuleUnit(const TranslationUnit &unit,
+                                     const std::string &module_name,
+                                     const CompileOptions &options = {});
+
+/** The runtime library as a pre-compiled object module. */
+link::ObjectModule runtimeModule(const CompileOptions &options = {});
+
+/** MiniC source of the runtime library (abs/min/max/LCG/etc.). */
+const char *runtimeSource();
+
+} // namespace codecomp::codegen
+
+#endif // CODECOMP_CODEGEN_CODEGEN_HH

@@ -1,0 +1,301 @@
+#include "codegen/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace codecomp::codegen {
+
+namespace {
+
+const std::unordered_map<std::string, Tok> keywords = {
+    {"int", Tok::KwInt},         {"if", Tok::KwIf},
+    {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+    {"for", Tok::KwFor},         {"do", Tok::KwDo},
+    {"return", Tok::KwReturn},   {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue}, {"switch", Tok::KwSwitch},
+    {"case", Tok::KwCase},       {"default", Tok::KwDefault},
+};
+
+int32_t
+charEscape(char c, int line)
+{
+    switch (c) {
+      case 'n':
+        return '\n';
+      case 't':
+        return '\t';
+      case '0':
+        return 0;
+      case '\\':
+        return '\\';
+      case '\'':
+        return '\'';
+      default:
+        CC_FATAL("bad escape '\\", std::string(1, c), "' at line ", line);
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    int line = 1;
+    size_t n = src.size();
+
+    auto push = [&toks, &line](Tok kind) {
+        toks.push_back({kind, "", 0, line});
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                CC_FATAL("unterminated comment at line ", line);
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < n && (std::isalnum(static_cast<unsigned char>(src[i]))
+                             || src[i] == '_'))
+                ++i;
+            std::string word = src.substr(start, i - start);
+            auto it = keywords.find(word);
+            if (it != keywords.end())
+                push(it->second);
+            else
+                toks.push_back({Tok::Ident, word, 0, line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            int base = 10;
+            if (c == '0' && i + 1 < n &&
+                (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+                base = 16;
+                i += 2;
+                start = i;
+            }
+            while (i < n &&
+                   std::isxdigit(static_cast<unsigned char>(src[i])))
+                ++i;
+            if (i == start)
+                CC_FATAL("malformed numeric literal at line ", line);
+            int64_t value =
+                std::stoll(src.substr(start, i - start), nullptr, base);
+            if (value > 0xffffffffll)
+                CC_FATAL("literal too large, line ", line);
+            toks.push_back({Tok::Number, "",
+                            static_cast<int32_t>(value), line});
+            continue;
+        }
+        if (c == '\'') {
+            if (i + 2 >= n)
+                CC_FATAL("unterminated char literal, line ", line);
+            int32_t value;
+            if (src[i + 1] == '\\') {
+                value = charEscape(src[i + 2], line);
+                if (i + 3 >= n || src[i + 3] != '\'')
+                    CC_FATAL("bad char literal, line ", line);
+                i += 4;
+            } else {
+                value = static_cast<unsigned char>(src[i + 1]);
+                if (src[i + 2] != '\'')
+                    CC_FATAL("bad char literal, line ", line);
+                i += 3;
+            }
+            toks.push_back({Tok::Number, "", value, line});
+            continue;
+        }
+
+        auto two = [&](char next) {
+            return i + 1 < n && src[i + 1] == next;
+        };
+        switch (c) {
+          case '(':
+            push(Tok::LParen);
+            break;
+          case ')':
+            push(Tok::RParen);
+            break;
+          case '{':
+            push(Tok::LBrace);
+            break;
+          case '}':
+            push(Tok::RBrace);
+            break;
+          case '[':
+            push(Tok::LBracket);
+            break;
+          case ']':
+            push(Tok::RBracket);
+            break;
+          case ';':
+            push(Tok::Semi);
+            break;
+          case ',':
+            push(Tok::Comma);
+            break;
+          case ':':
+            push(Tok::Colon);
+            break;
+          case '+':
+            push(Tok::Plus);
+            break;
+          case '-':
+            push(Tok::Minus);
+            break;
+          case '*':
+            push(Tok::Star);
+            break;
+          case '/':
+            push(Tok::Slash);
+            break;
+          case '%':
+            push(Tok::Percent);
+            break;
+          case '^':
+            push(Tok::Caret);
+            break;
+          case '=':
+            if (two('=')) {
+                push(Tok::EqEq);
+                ++i;
+            } else {
+                push(Tok::Assign);
+            }
+            break;
+          case '!':
+            if (two('=')) {
+                push(Tok::NotEq);
+                ++i;
+            } else {
+                push(Tok::Bang);
+            }
+            break;
+          case '<':
+            if (two('=')) {
+                push(Tok::Le);
+                ++i;
+            } else if (two('<')) {
+                push(Tok::Shl);
+                ++i;
+            } else {
+                push(Tok::Lt);
+            }
+            break;
+          case '>':
+            if (two('=')) {
+                push(Tok::Ge);
+                ++i;
+            } else if (two('>')) {
+                push(Tok::Shr);
+                ++i;
+            } else {
+                push(Tok::Gt);
+            }
+            break;
+          case '&':
+            if (two('&')) {
+                push(Tok::AmpAmp);
+                ++i;
+            } else {
+                push(Tok::Amp);
+            }
+            break;
+          case '|':
+            if (two('|')) {
+                push(Tok::PipePipe);
+                ++i;
+            } else {
+                push(Tok::Pipe);
+            }
+            break;
+          default:
+            CC_FATAL("unexpected character '", std::string(1, c),
+                     "' at line ", line);
+        }
+        ++i;
+    }
+    toks.push_back({Tok::End, "", 0, line});
+    return toks;
+}
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "<end>";
+      case Tok::Ident: return "identifier";
+      case Tok::Number: return "number";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::KwSwitch: return "'switch'";
+      case Tok::KwCase: return "'case'";
+      case Tok::KwDefault: return "'default'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Semi: return "';'";
+      case Tok::Comma: return "','";
+      case Tok::Colon: return "':'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Bang: return "'!'";
+    }
+    return "<bad>";
+}
+
+} // namespace codecomp::codegen

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Lexer for MiniC, the small C-like language compiled by the SDTS code
+ * generator. MiniC is the stand-in for the C sources of SPEC CINT95.
+ */
+
+#ifndef CODECOMP_CODEGEN_LEXER_HH
+#define CODECOMP_CODEGEN_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace codecomp::codegen {
+
+enum class Tok : uint8_t {
+    End,
+    Ident,
+    Number,
+    // keywords
+    KwInt, KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak,
+    KwContinue, KwSwitch, KwCase, KwDefault,
+    // punctuation and operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Colon,
+    Assign,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Shl, Shr,
+    EqEq, NotEq, Lt, Le, Gt, Ge,
+    AmpAmp, PipePipe, Bang,
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;   //!< identifier spelling
+    int32_t value = 0;  //!< numeric value for Number
+    int line = 0;       //!< 1-based source line, for error messages
+};
+
+/** Tokenize @p source; fatal on malformed input. */
+std::vector<Token> lex(const std::string &source);
+
+/** Human-readable token-kind name for diagnostics. */
+const char *tokName(Tok kind);
+
+} // namespace codecomp::codegen
+
+#endif // CODECOMP_CODEGEN_LEXER_HH

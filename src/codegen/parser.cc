@@ -1,0 +1,503 @@
+#include "codegen/parser.hh"
+
+#include "codegen/lexer.hh"
+#include "support/logging.hh"
+
+namespace codecomp::codegen {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    TranslationUnit
+    parseUnit()
+    {
+        TranslationUnit unit;
+        while (!at(Tok::End)) {
+            expect(Tok::KwInt);
+            Token name = expect(Tok::Ident);
+            if (at(Tok::LParen))
+                unit.functions.push_back(parseFunction(name.text));
+            else
+                unit.globals.push_back(parseGlobalTail(name.text));
+        }
+        return unit;
+    }
+
+  private:
+    const Token &peek() const { return toks_[pos_]; }
+    bool at(Tok kind) const { return peek().kind == kind; }
+
+    Token
+    advance()
+    {
+        CC_ASSERT(pos_ < toks_.size(), "token stream overrun");
+        return toks_[pos_++];
+    }
+
+    Token
+    expect(Tok kind)
+    {
+        if (!at(kind))
+            CC_FATAL("expected ", tokName(kind), " but found ",
+                     tokName(peek().kind), " at line ", peek().line);
+        return advance();
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (!at(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    int32_t
+    parseSignedNumber()
+    {
+        bool negative = accept(Tok::Minus);
+        Token num = expect(Tok::Number);
+        return negative ? -num.value : num.value;
+    }
+
+    GlobalDecl
+    parseGlobalTail(std::string name)
+    {
+        GlobalDecl global;
+        global.name = std::move(name);
+        if (accept(Tok::LBracket)) {
+            Token size = expect(Tok::Number);
+            if (size.value <= 0)
+                CC_FATAL("array size must be positive, line ", size.line);
+            global.arraySize = size.value;
+            expect(Tok::RBracket);
+            if (accept(Tok::Assign)) {
+                expect(Tok::LBrace);
+                if (!at(Tok::RBrace)) {
+                    global.init.push_back(parseSignedNumber());
+                    while (accept(Tok::Comma))
+                        global.init.push_back(parseSignedNumber());
+                }
+                expect(Tok::RBrace);
+                if (static_cast<int32_t>(global.init.size()) >
+                    global.arraySize)
+                    CC_FATAL("too many initializers for ", global.name);
+            }
+        } else if (accept(Tok::Assign)) {
+            global.init.push_back(parseSignedNumber());
+        }
+        expect(Tok::Semi);
+        return global;
+    }
+
+    Function
+    parseFunction(std::string name)
+    {
+        Function fn;
+        fn.name = std::move(name);
+        fn.line = peek().line;
+        expect(Tok::LParen);
+        if (!at(Tok::RParen)) {
+            do {
+                expect(Tok::KwInt);
+                fn.params.push_back(expect(Tok::Ident).text);
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen);
+        expect(Tok::LBrace);
+        while (!at(Tok::RBrace))
+            fn.body.push_back(parseStmt());
+        expect(Tok::RBrace);
+        return fn;
+    }
+
+    StmtPtr
+    makeStmt(StmtKind kind)
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = kind;
+        stmt->line = peek().line;
+        return stmt;
+    }
+
+    /** Assignment or expression, without the trailing semicolon;
+     *  used by plain statements and by for-init/for-step. */
+    StmtPtr
+    parseSimple()
+    {
+        if (at(Tok::Ident)) {
+            // Lookahead to distinguish assignment from expression.
+            size_t save = pos_;
+            Token name = advance();
+            if (accept(Tok::Assign)) {
+                auto stmt = makeStmt(StmtKind::Assign);
+                stmt->name = name.text;
+                stmt->cond = parseExpr();
+                return stmt;
+            }
+            if (at(Tok::LBracket)) {
+                advance();
+                ExprPtr index = parseExpr();
+                expect(Tok::RBracket);
+                if (accept(Tok::Assign)) {
+                    auto stmt = makeStmt(StmtKind::Assign);
+                    stmt->name = name.text;
+                    stmt->index = std::move(index);
+                    stmt->cond = parseExpr();
+                    return stmt;
+                }
+            }
+            pos_ = save; // not an assignment; reparse as expression
+        }
+        auto stmt = makeStmt(StmtKind::ExprStmt);
+        stmt->cond = parseExpr();
+        return stmt;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        if (at(Tok::LBrace)) {
+            auto stmt = makeStmt(StmtKind::Block);
+            advance();
+            while (!at(Tok::RBrace))
+                stmt->body.push_back(parseStmt());
+            expect(Tok::RBrace);
+            return stmt;
+        }
+        if (accept(Tok::KwInt)) {
+            auto stmt = makeStmt(StmtKind::LocalDecl);
+            stmt->name = expect(Tok::Ident).text;
+            if (accept(Tok::LBracket)) {
+                Token size = expect(Tok::Number);
+                if (size.value <= 0)
+                    CC_FATAL("array size must be positive, line ",
+                             size.line);
+                stmt->arraySize = size.value;
+                expect(Tok::RBracket);
+            } else if (accept(Tok::Assign)) {
+                stmt->init = parseExpr();
+            }
+            expect(Tok::Semi);
+            return stmt;
+        }
+        if (accept(Tok::KwIf)) {
+            auto stmt = makeStmt(StmtKind::If);
+            expect(Tok::LParen);
+            stmt->cond = parseExpr();
+            expect(Tok::RParen);
+            stmt->thenStmt = parseStmt();
+            if (accept(Tok::KwElse))
+                stmt->elseStmt = parseStmt();
+            return stmt;
+        }
+        if (accept(Tok::KwWhile)) {
+            auto stmt = makeStmt(StmtKind::While);
+            expect(Tok::LParen);
+            stmt->cond = parseExpr();
+            expect(Tok::RParen);
+            stmt->body.push_back(parseStmt());
+            return stmt;
+        }
+        if (accept(Tok::KwDo)) {
+            auto stmt = makeStmt(StmtKind::DoWhile);
+            stmt->body.push_back(parseStmt());
+            expect(Tok::KwWhile);
+            expect(Tok::LParen);
+            stmt->cond = parseExpr();
+            expect(Tok::RParen);
+            expect(Tok::Semi);
+            return stmt;
+        }
+        if (accept(Tok::KwFor)) {
+            auto stmt = makeStmt(StmtKind::For);
+            expect(Tok::LParen);
+            if (!at(Tok::Semi))
+                stmt->initStmt = parseSimple();
+            expect(Tok::Semi);
+            if (!at(Tok::Semi))
+                stmt->cond = parseExpr();
+            expect(Tok::Semi);
+            if (!at(Tok::RParen))
+                stmt->stepStmt = parseSimple();
+            expect(Tok::RParen);
+            stmt->body.push_back(parseStmt());
+            return stmt;
+        }
+        if (accept(Tok::KwReturn)) {
+            auto stmt = makeStmt(StmtKind::Return);
+            if (!at(Tok::Semi))
+                stmt->cond = parseExpr();
+            expect(Tok::Semi);
+            return stmt;
+        }
+        if (accept(Tok::KwBreak)) {
+            expect(Tok::Semi);
+            return makeStmt(StmtKind::Break);
+        }
+        if (accept(Tok::KwContinue)) {
+            expect(Tok::Semi);
+            return makeStmt(StmtKind::Continue);
+        }
+        if (accept(Tok::KwSwitch)) {
+            auto stmt = makeStmt(StmtKind::Switch);
+            expect(Tok::LParen);
+            stmt->cond = parseExpr();
+            expect(Tok::RParen);
+            expect(Tok::LBrace);
+            while (!at(Tok::RBrace)) {
+                if (accept(Tok::KwCase)) {
+                    SwitchCase arm;
+                    arm.value = parseSignedNumber();
+                    expect(Tok::Colon);
+                    while (!at(Tok::KwCase) && !at(Tok::KwDefault) &&
+                           !at(Tok::RBrace))
+                        arm.body.push_back(parseStmt());
+                    stmt->cases.push_back(std::move(arm));
+                } else {
+                    expect(Tok::KwDefault);
+                    expect(Tok::Colon);
+                    if (stmt->hasDefault)
+                        CC_FATAL("duplicate default, line ", peek().line);
+                    stmt->hasDefault = true;
+                    while (!at(Tok::KwCase) && !at(Tok::KwDefault) &&
+                           !at(Tok::RBrace))
+                        stmt->defaultBody.push_back(parseStmt());
+                }
+            }
+            expect(Tok::RBrace);
+            return stmt;
+        }
+
+        StmtPtr stmt = parseSimple();
+        expect(Tok::Semi);
+        return stmt;
+    }
+
+    ExprPtr
+    makeExpr(ExprKind kind)
+    {
+        auto expr = std::make_unique<Expr>();
+        expr->kind = kind;
+        expr->line = peek().line;
+        return expr;
+    }
+
+    ExprPtr
+    makeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs)
+    {
+        auto expr = std::make_unique<Expr>();
+        expr->kind = ExprKind::Binary;
+        expr->binop = op;
+        expr->lhs = std::move(lhs);
+        expr->rhs = std::move(rhs);
+        return expr;
+    }
+
+    ExprPtr parseExpr() { return parseLogOr(); }
+
+    ExprPtr
+    parseLogOr()
+    {
+        ExprPtr lhs = parseLogAnd();
+        while (accept(Tok::PipePipe))
+            lhs = makeBinary(BinOp::LogOr, std::move(lhs), parseLogAnd());
+        return lhs;
+    }
+
+    ExprPtr
+    parseLogAnd()
+    {
+        ExprPtr lhs = parseBitOr();
+        while (accept(Tok::AmpAmp))
+            lhs = makeBinary(BinOp::LogAnd, std::move(lhs), parseBitOr());
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr lhs = parseBitXor();
+        while (accept(Tok::Pipe))
+            lhs = makeBinary(BinOp::Or, std::move(lhs), parseBitXor());
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr lhs = parseBitAnd();
+        while (accept(Tok::Caret))
+            lhs = makeBinary(BinOp::Xor, std::move(lhs), parseBitAnd());
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr lhs = parseEquality();
+        while (accept(Tok::Amp))
+            lhs = makeBinary(BinOp::And, std::move(lhs), parseEquality());
+        return lhs;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr lhs = parseRelational();
+        for (;;) {
+            if (accept(Tok::EqEq))
+                lhs = makeBinary(BinOp::Eq, std::move(lhs),
+                                 parseRelational());
+            else if (accept(Tok::NotEq))
+                lhs = makeBinary(BinOp::Ne, std::move(lhs),
+                                 parseRelational());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr lhs = parseShift();
+        for (;;) {
+            if (accept(Tok::Lt))
+                lhs = makeBinary(BinOp::Lt, std::move(lhs), parseShift());
+            else if (accept(Tok::Le))
+                lhs = makeBinary(BinOp::Le, std::move(lhs), parseShift());
+            else if (accept(Tok::Gt))
+                lhs = makeBinary(BinOp::Gt, std::move(lhs), parseShift());
+            else if (accept(Tok::Ge))
+                lhs = makeBinary(BinOp::Ge, std::move(lhs), parseShift());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr lhs = parseAdditive();
+        for (;;) {
+            if (accept(Tok::Shl))
+                lhs = makeBinary(BinOp::Shl, std::move(lhs),
+                                 parseAdditive());
+            else if (accept(Tok::Shr))
+                lhs = makeBinary(BinOp::Shr, std::move(lhs),
+                                 parseAdditive());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr lhs = parseMultiplicative();
+        for (;;) {
+            if (accept(Tok::Plus))
+                lhs = makeBinary(BinOp::Add, std::move(lhs),
+                                 parseMultiplicative());
+            else if (accept(Tok::Minus))
+                lhs = makeBinary(BinOp::Sub, std::move(lhs),
+                                 parseMultiplicative());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr lhs = parseUnary();
+        for (;;) {
+            if (accept(Tok::Star))
+                lhs = makeBinary(BinOp::Mul, std::move(lhs), parseUnary());
+            else if (accept(Tok::Slash))
+                lhs = makeBinary(BinOp::Div, std::move(lhs), parseUnary());
+            else if (accept(Tok::Percent))
+                lhs = makeBinary(BinOp::Mod, std::move(lhs), parseUnary());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (accept(Tok::Minus)) {
+            // Fold -N literals immediately.
+            ExprPtr operand = parseUnary();
+            if (operand->kind == ExprKind::IntLit) {
+                operand->value = -operand->value;
+                return operand;
+            }
+            auto expr = makeExpr(ExprKind::Unary);
+            expr->unop = UnOp::Neg;
+            expr->lhs = std::move(operand);
+            return expr;
+        }
+        if (accept(Tok::Bang)) {
+            auto expr = makeExpr(ExprKind::Unary);
+            expr->unop = UnOp::Not;
+            expr->lhs = parseUnary();
+            return expr;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (at(Tok::Number)) {
+            auto expr = makeExpr(ExprKind::IntLit);
+            expr->value = advance().value;
+            return expr;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr expr = parseExpr();
+            expect(Tok::RParen);
+            return expr;
+        }
+        Token name = expect(Tok::Ident);
+        if (accept(Tok::LParen)) {
+            auto expr = makeExpr(ExprKind::Call);
+            expr->name = name.text;
+            if (!at(Tok::RParen)) {
+                do {
+                    expr->args.push_back(parseExpr());
+                } while (accept(Tok::Comma));
+            }
+            expect(Tok::RParen);
+            return expr;
+        }
+        if (accept(Tok::LBracket)) {
+            auto expr = makeExpr(ExprKind::Index);
+            expr->name = name.text;
+            expr->lhs = parseExpr();
+            expect(Tok::RBracket);
+            return expr;
+        }
+        auto expr = makeExpr(ExprKind::Var);
+        expr->name = name.text;
+        return expr;
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+TranslationUnit
+parse(const std::string &source)
+{
+    return Parser(lex(source)).parseUnit();
+}
+
+} // namespace codecomp::codegen

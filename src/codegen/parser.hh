@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+
+#ifndef CODECOMP_CODEGEN_PARSER_HH
+#define CODECOMP_CODEGEN_PARSER_HH
+
+#include <string>
+
+#include "codegen/ast.hh"
+
+namespace codecomp::codegen {
+
+/** Parse MiniC source into an AST; fatal on syntax errors. */
+TranslationUnit parse(const std::string &source);
+
+} // namespace codecomp::codegen
+
+#endif // CODECOMP_CODEGEN_PARSER_HH

@@ -1,0 +1,140 @@
+#include "codegen/codegen.hh"
+
+namespace codecomp::codegen {
+
+/**
+ * The MiniC runtime library. Every benchmark links it statically, the
+ * way the paper's SPEC binaries statically linked libc -- so library
+ * code participates in the compression statistics.
+ */
+const char *
+runtimeSource()
+{
+    return R"(
+int __lcg_state = 12345;
+
+int rt_srand(int seed) {
+    __lcg_state = seed;
+    return 0;
+}
+
+int rt_rand() {
+    __lcg_state = __lcg_state * 1103515245 + 12345;
+    return (__lcg_state >> 16) & 32767;
+}
+
+int rt_abs(int x) {
+    if (x < 0) return -x;
+    return x;
+}
+
+int rt_min(int a, int b) {
+    if (a < b) return a;
+    return b;
+}
+
+int rt_max(int a, int b) {
+    if (a > b) return a;
+    return b;
+}
+
+int rt_sign(int x) {
+    if (x < 0) return -1;
+    if (x > 0) return 1;
+    return 0;
+}
+
+int rt_clamp(int x, int lo, int hi) {
+    if (x < lo) return lo;
+    if (x > hi) return hi;
+    return x;
+}
+
+int rt_gcd(int a, int b) {
+    int t;
+    a = rt_abs(a);
+    b = rt_abs(b);
+    while (b != 0) {
+        t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+int rt_ilog2(int x) {
+    int n = 0;
+    while (x > 1) {
+        x = x >> 1;
+        n = n + 1;
+    }
+    return n;
+}
+
+int rt_popcount(int x) {
+    int n = 0;
+    int i;
+    for (i = 0; i < 32; i = i + 1) {
+        n = n + (x & 1);
+        x = (x >> 1) & 0x7fffffff;
+    }
+    return n;
+}
+
+int rt_isqrt(int x) {
+    int r = 0;
+    if (x <= 0) return 0;
+    r = x;
+    while (r * r > x) {
+        r = (r + x / r) / 2;
+    }
+    return r;
+}
+
+int rt_pow(int base, int exp) {
+    int r = 1;
+    while (exp > 0) {
+        if (exp & 1) r = r * base;
+        base = base * base;
+        exp = exp >> 1;
+    }
+    return r;
+}
+
+int rt_hash(int x) {
+    x = x ^ (x >> 16) & 0xffff;
+    x = x * 73244475;
+    x = x ^ (x >> 13) & 0x7ffff;
+    x = x * 73244475;
+    x = x ^ (x >> 16) & 0xffff;
+    return x;
+}
+
+int rt_fib(int n) {
+    int a = 0;
+    int b = 1;
+    int t;
+    while (n > 0) {
+        t = a + b;
+        a = b;
+        b = t;
+        n = n - 1;
+    }
+    return a;
+}
+
+int rt_print_pair(int a, int b) {
+    puti(a);
+    puti(b);
+    return 0;
+}
+
+int rt_checksum(int acc, int value) {
+    acc = acc * 31 + value;
+    acc = acc ^ (acc >> 7) & 0x1ffffff;
+    return acc;
+}
+)";
+}
+
+} // namespace codecomp::codegen

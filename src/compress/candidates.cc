@@ -1,0 +1,88 @@
+#include "compress/candidates.hh"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace codecomp::compress {
+
+std::vector<bool>
+eligibilityMask(const Program &program)
+{
+    std::vector<bool> eligible(program.text.size());
+    for (size_t i = 0; i < program.text.size(); ++i) {
+        isa::Inst inst = isa::decode(program.text[i]);
+        eligible[i] = !inst.isRelativeBranch();
+    }
+    return eligible;
+}
+
+std::vector<Candidate>
+enumerateCandidates(const Program &program, const Cfg &cfg, uint32_t minLen,
+                    uint32_t maxLen)
+{
+    CC_ASSERT(minLen >= 1 && minLen <= maxLen, "bad candidate lengths");
+    std::vector<bool> eligible = eligibilityMask(program);
+
+    // Key sequences as UTF-32 strings: cheap hashing, no custom hasher.
+    std::unordered_map<std::u32string, uint32_t> index;
+    std::vector<Candidate> candidates;
+
+    for (const InstRange &block : cfg.blocks()) {
+        for (uint32_t start = block.first;
+             start < block.first + block.count; ++start) {
+            std::u32string key;
+            for (uint32_t len = 1; len <= maxLen; ++len) {
+                uint32_t pos = start + len - 1;
+                if (pos >= block.first + block.count || !eligible[pos])
+                    break;
+                key.push_back(static_cast<char32_t>(program.text[pos]));
+                if (len < minLen)
+                    continue;
+                auto [it, inserted] = index.try_emplace(
+                    key, static_cast<uint32_t>(candidates.size()));
+                if (inserted) {
+                    Candidate cand;
+                    cand.seq.assign(program.text.begin() + start,
+                                    program.text.begin() + start + len);
+                    candidates.push_back(std::move(cand));
+                }
+                candidates[it->second].positions.push_back(start);
+            }
+        }
+    }
+    // Blocks are visited in ascending order, so positions are sorted and
+    // candidate order is already deterministic (first occurrence, then
+    // length, because shorter prefixes insert first).
+    return candidates;
+}
+
+uint32_t
+countNonOverlapping(const std::vector<uint32_t> &positions, uint32_t length,
+                    const std::vector<bool> &consumed)
+{
+    uint32_t count = 0;
+    uint64_t next_free = 0;
+    for (uint32_t pos : positions) {
+        if (pos < next_free)
+            continue;
+        if (!consumed.empty()) {
+            bool blocked = false;
+            for (uint32_t i = pos; i < pos + length; ++i) {
+                if (consumed[i]) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (blocked)
+                continue;
+        }
+        ++count;
+        next_free = static_cast<uint64_t>(pos) + length;
+    }
+    return count;
+}
+
+} // namespace codecomp::compress

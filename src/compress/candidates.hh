@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Enumeration of candidate dictionary sequences.
+ *
+ * A candidate is a sequence of 1..maxLen instruction words that
+ * (a) lies entirely within one basic block and (b) contains no
+ * relative branch (paper section 3.1.1: branch instructions with
+ * offset fields are never compressed; indirect branches are fair
+ * game). Occurrence lists are start indices in .text.
+ */
+
+#ifndef CODECOMP_COMPRESS_CANDIDATES_HH
+#define CODECOMP_COMPRESS_CANDIDATES_HH
+
+#include <vector>
+
+#include "program/cfg.hh"
+#include "program/program.hh"
+
+namespace codecomp::compress {
+
+/** A unique candidate sequence with all its occurrence positions. */
+struct Candidate
+{
+    std::vector<isa::Word> seq;
+    std::vector<uint32_t> positions; //!< sorted start indices
+};
+
+/** Per-instruction compressibility mask (false for relative branches). */
+std::vector<bool> eligibilityMask(const Program &program);
+
+/**
+ * Enumerate all candidates with lengths in [minLen, maxLen].
+ * Deterministic output order: by first occurrence, then by length.
+ */
+std::vector<Candidate> enumerateCandidates(const Program &program,
+                                           const Cfg &cfg, uint32_t minLen,
+                                           uint32_t maxLen);
+
+/**
+ * Maximum number of non-overlapping occurrences from a sorted position
+ * list for a sequence of @p length, considering only positions where
+ * @p live (indexed by instruction) is true for the whole span. Pass an
+ * empty mask to treat everything as live.
+ */
+uint32_t countNonOverlapping(const std::vector<uint32_t> &positions,
+                             uint32_t length,
+                             const std::vector<bool> &consumed);
+
+} // namespace codecomp::compress
+
+#endif // CODECOMP_COMPRESS_CANDIDATES_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The compressor: greedy selection + codeword assignment + layout with
+ * branch patching (paper section 3).
+ *
+ * Branch handling follows section 3.2: relative branches are never
+ * compressed; after layout their offset fields are reinterpreted at
+ * codeword granularity (the scheme's unit) and re-patched. Branches
+ * whose target no longer fits the offset field are rewritten through an
+ * absolute-target stub (lis/ori/mtctr/bctr on the reserved register r2),
+ * the moral equivalent of the paper's jump-table fallback; conditional
+ * branches get a short skip/trampoline pair so no condition needs
+ * inverting. Jump tables in .data are re-patched with compressed-space
+ * code pointers.
+ */
+
+#ifndef CODECOMP_COMPRESS_COMPRESSOR_HH
+#define CODECOMP_COMPRESS_COMPRESSOR_HH
+
+#include "compress/image.hh"
+
+namespace codecomp::compress {
+
+struct CompressorConfig
+{
+    Scheme scheme = Scheme::Baseline;
+
+    /** Codeword budget; clipped to the scheme's maximum. */
+    uint32_t maxEntries = 8192;
+
+    /** Dictionary entry length limit in instructions (paper Fig 4). */
+    uint32_t maxEntryLen = 4;
+
+    /** Codeword cost assumed during greedy selection, in nibbles;
+     *  0 means the scheme default (true cost for fixed-length schemes,
+     *  2 nibbles for the nibble scheme). */
+    uint32_t assumedCodewordNibbles = 0;
+};
+
+/** Compress @p program; the result is executable on CompressedCpu. */
+CompressedImage compressProgram(const Program &program,
+                                const CompressorConfig &config);
+
+/** Compress with a pre-computed selection (used by ablation benches). */
+CompressedImage compressWithSelection(const Program &program,
+                                      const CompressorConfig &config,
+                                      SelectionResult selection);
+
+} // namespace codecomp::compress
+
+#endif // CODECOMP_COMPRESS_COMPRESSOR_HH

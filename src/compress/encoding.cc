@@ -1,0 +1,189 @@
+#include "compress/encoding.hh"
+
+#include "isa/isa.hh"
+#include "support/logging.hh"
+
+namespace codecomp::compress {
+
+namespace {
+
+/** Rank boundaries for the nibble scheme's codeword classes. */
+constexpr uint32_t nib4Count = 8;
+constexpr uint32_t nib8Count = 4 * 16;         // first nibble 8..11
+constexpr uint32_t nib12Count = 2 * 256;       // first nibble 12..13
+constexpr uint32_t nib16Count = 1 * 4096;      // first nibble 14
+constexpr uint32_t nibTotal =
+    nib4Count + nib8Count + nib12Count + nib16Count; // 4680
+constexpr uint8_t nibEscape = 15;
+
+/** Escape byte for 5-bit codeword group @p group (0..31): the high six
+ *  bits are one of the eight illegal primary opcodes. */
+uint8_t
+escapeByte(uint32_t group)
+{
+    CC_ASSERT(group < 32, "escape group out of range");
+    uint8_t primop = isa::illegalPrimOps[group / 4];
+    return static_cast<uint8_t>((primop << 2) | (group % 4));
+}
+
+/** Inverse of escapeByte: group for a byte, or nullopt if legal. */
+std::optional<uint32_t>
+escapeGroup(uint8_t byte)
+{
+    uint8_t primop = byte >> 2;
+    for (uint32_t i = 0; i < isa::illegalPrimOps.size(); ++i)
+        if (isa::illegalPrimOps[i] == primop)
+            return i * 4 + (byte & 3);
+    return std::nullopt;
+}
+
+} // namespace
+
+SchemeParams
+schemeParams(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        // Codewords are 2-byte aligned; instructions cost 8 nibbles.
+        return {4, 8, 8192, 4};
+      case Scheme::OneByte:
+        return {2, 8, 32, 2};
+      case Scheme::Nibble:
+        // Everything is nibble-aligned; instructions pay a 1-nibble
+        // escape, and the assumed selection cost is 2 nibbles.
+        return {1, 9, nibTotal, 2};
+    }
+    CC_PANIC("bad scheme");
+}
+
+unsigned
+codewordNibbles(Scheme scheme, uint32_t rank)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        CC_ASSERT(rank < 8192, "baseline rank range");
+        return 4;
+      case Scheme::OneByte:
+        CC_ASSERT(rank < 32, "one-byte rank range");
+        return 2;
+      case Scheme::Nibble:
+        if (rank < nib4Count)
+            return 1;
+        if (rank < nib4Count + nib8Count)
+            return 2;
+        if (rank < nib4Count + nib8Count + nib12Count)
+            return 3;
+        CC_ASSERT(rank < nibTotal, "nibble rank range");
+        return 4;
+    }
+    CC_PANIC("bad scheme");
+}
+
+void
+emitCodeword(NibbleWriter &writer, Scheme scheme, uint32_t rank)
+{
+    switch (scheme) {
+      case Scheme::Baseline: {
+        CC_ASSERT(rank < 8192, "baseline rank range");
+        writer.putNibbles(escapeByte(rank / 256), 2);
+        writer.putNibbles(rank % 256, 2);
+        return;
+      }
+      case Scheme::OneByte:
+        CC_ASSERT(rank < 32, "one-byte rank range");
+        writer.putNibbles(escapeByte(rank), 2);
+        return;
+      case Scheme::Nibble: {
+        if (rank < nib4Count) {
+            writer.putNibble(static_cast<uint8_t>(rank));
+            return;
+        }
+        if (rank < nib4Count + nib8Count) {
+            uint32_t v = rank - nib4Count;
+            writer.putNibble(static_cast<uint8_t>(8 + v / 16));
+            writer.putNibble(static_cast<uint8_t>(v % 16));
+            return;
+        }
+        if (rank < nib4Count + nib8Count + nib12Count) {
+            uint32_t v = rank - nib4Count - nib8Count;
+            writer.putNibble(static_cast<uint8_t>(12 + v / 256));
+            writer.putNibbles(v % 256, 2);
+            return;
+        }
+        CC_ASSERT(rank < nibTotal, "nibble rank range");
+        uint32_t v = rank - nib4Count - nib8Count - nib12Count;
+        writer.putNibble(14);
+        writer.putNibbles(v, 3);
+        return;
+      }
+    }
+    CC_PANIC("bad scheme");
+}
+
+void
+emitInstruction(NibbleWriter &writer, Scheme scheme, uint32_t word)
+{
+    if (scheme == Scheme::Nibble)
+        writer.putNibble(nibEscape);
+    else
+        CC_ASSERT(!isa::isIllegalPrimOp(isa::primOpOf(word)),
+                  "illegal opcode would alias an escape byte");
+    writer.putWord(word);
+}
+
+std::optional<uint32_t>
+decodeCodeword(NibbleReader &reader, Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline: {
+        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
+        auto group = escapeGroup(first);
+        if (!group) {
+            reader.seek(reader.pos() - 2); // plain instruction
+            return std::nullopt;
+        }
+        uint32_t index = reader.getNibbles(2);
+        return *group * 256 + index;
+      }
+      case Scheme::OneByte: {
+        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
+        auto group = escapeGroup(first);
+        if (!group) {
+            reader.seek(reader.pos() - 2);
+            return std::nullopt;
+        }
+        return *group;
+      }
+      case Scheme::Nibble: {
+        uint8_t n0 = reader.getNibble();
+        if (n0 < 8)
+            return n0;
+        if (n0 < 12)
+            return nib4Count + (n0 - 8u) * 16 + reader.getNibble();
+        if (n0 < 14)
+            return nib4Count + nib8Count + (n0 - 12u) * 256 +
+                   reader.getNibbles(2);
+        if (n0 == 14)
+            return nib4Count + nib8Count + nib12Count +
+                   reader.getNibbles(3);
+        return std::nullopt; // escape: instruction follows
+      }
+    }
+    CC_PANIC("bad scheme");
+}
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return "baseline-2byte";
+      case Scheme::OneByte:
+        return "one-byte";
+      case Scheme::Nibble:
+        return "nibble-aligned";
+    }
+    return "?";
+}
+
+} // namespace codecomp::compress

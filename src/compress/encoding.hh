@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Codeword encodings for compressed programs.
+ *
+ * Three schemes from the paper:
+ *
+ *  - Baseline (section 4.1): 2-byte codewords. The first byte is an
+ *    escape byte built from one of the 8 illegal primary opcodes plus
+ *    the remaining 2 bits of the byte (32 escape bytes); the second
+ *    byte indexes 256 entries per escape, for up to 8192 codewords.
+ *    Original programs remain executable on a baseline processor.
+ *
+ *  - OneByte (section 4.1.2, Figure 8): 1-byte codewords formed from
+ *    the 32 escape bytes alone; dictionaries of 8/16/32 entries.
+ *
+ *  - Nibble (section 4.1.3, Figure 10): variable-length codewords of
+ *    4/8/12/16 bits, 4-bit aligned. First-nibble classes: 0-7 ->
+ *    4-bit codeword (8), 8-11 -> 8-bit (64), 12-13 -> 12-bit (512),
+ *    14 -> 16-bit (4096), 15 -> escape preceding an uncompressed
+ *    32-bit instruction. 4680 codewords total; the most frequent
+ *    entries get the shortest codewords.
+ *
+ * Codewords address dictionary entries by *rank* (frequency order).
+ */
+
+#ifndef CODECOMP_COMPRESS_ENCODING_HH
+#define CODECOMP_COMPRESS_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "support/bitstream.hh"
+
+namespace codecomp::compress {
+
+enum class Scheme : uint8_t {
+    Baseline, //!< 2-byte escape + index codewords
+    OneByte,  //!< 1-byte escape-only codewords
+    Nibble,   //!< 4/8/12/16-bit nibble-aligned codewords
+};
+
+/** Static parameters of one scheme. */
+struct SchemeParams
+{
+    unsigned unitNibbles;  //!< branch-target granularity (paper 3.2.2)
+    unsigned insnNibbles;  //!< stream cost of an uncompressed instruction
+    unsigned maxCodewords;
+    unsigned defaultAssumedCodewordNibbles; //!< greedy cost model input
+};
+
+SchemeParams schemeParams(Scheme scheme);
+
+/** Size in nibbles of the codeword for dictionary rank @p rank. */
+unsigned codewordNibbles(Scheme scheme, uint32_t rank);
+
+/** Append the codeword for @p rank. */
+void emitCodeword(NibbleWriter &writer, Scheme scheme, uint32_t rank);
+
+/** Append one uncompressed instruction (with escape under Nibble). */
+void emitInstruction(NibbleWriter &writer, Scheme scheme, uint32_t word);
+
+/**
+ * Decode the item at the reader's cursor: a codeword rank, or
+ * std::nullopt for an uncompressed instruction (whose 32-bit word is
+ * then read with reader.getWord()). Mirrors the hardware decode rule:
+ * under Baseline/OneByte an illegal primary opcode in the first byte
+ * marks a codeword; under Nibble the first nibble classifies.
+ */
+std::optional<uint32_t> decodeCodeword(NibbleReader &reader, Scheme scheme);
+
+const char *schemeName(Scheme scheme);
+
+} // namespace codecomp::compress
+
+#endif // CODECOMP_COMPRESS_ENCODING_HH

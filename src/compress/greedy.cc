@@ -1,0 +1,152 @@
+#include "compress/greedy.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace codecomp::compress {
+
+namespace {
+
+/** Heap entry: cached savings for a candidate. */
+struct HeapEntry
+{
+    int64_t savings;
+    uint32_t candId;
+};
+
+struct HeapLess
+{
+    bool
+    operator()(const HeapEntry &a, const HeapEntry &b) const
+    {
+        // Max savings first; break ties toward the lower candidate id
+        // (which is also "earliest first occurrence" by construction).
+        if (a.savings != b.savings)
+            return a.savings < b.savings;
+        return a.candId > b.candId;
+    }
+};
+
+/** Consume one accepted candidate: emit placements, mark slots. */
+void
+accept(const Candidate &cand, uint32_t entry_id, std::vector<bool> &consumed,
+       SelectionResult &result)
+{
+    uint32_t length = static_cast<uint32_t>(cand.seq.size());
+    uint32_t count = 0;
+    uint64_t next_free = 0;
+    for (uint32_t pos : cand.positions) {
+        if (pos < next_free)
+            continue;
+        bool blocked = false;
+        for (uint32_t i = pos; i < pos + length; ++i) {
+            if (consumed[i]) {
+                blocked = true;
+                break;
+            }
+        }
+        if (blocked)
+            continue;
+        for (uint32_t i = pos; i < pos + length; ++i)
+            consumed[i] = true;
+        result.placements.push_back({pos, length, entry_id});
+        ++count;
+        next_free = static_cast<uint64_t>(pos) + length;
+    }
+    CC_ASSERT(count > 0, "accepted candidate with no live occurrences");
+    result.dict.entries.push_back(cand.seq);
+    result.useCount.push_back(count);
+}
+
+SelectionResult
+finish(SelectionResult result)
+{
+    std::sort(result.placements.begin(), result.placements.end(),
+              [](const Placement &a, const Placement &b) {
+                  return a.start < b.start;
+              });
+    return result;
+}
+
+} // namespace
+
+SelectionResult
+selectGreedy(const Program &program, const GreedyConfig &config)
+{
+    Cfg cfg = Cfg::build(program);
+    std::vector<Candidate> candidates = enumerateCandidates(
+        program, cfg, config.minEntryLen, config.maxEntryLen);
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+    for (uint32_t id = 0; id < candidates.size(); ++id) {
+        uint32_t length =
+            static_cast<uint32_t>(candidates[id].seq.size());
+        uint32_t occ = countNonOverlapping(candidates[id].positions,
+                                           length, {});
+        int64_t savings = savingsNibbles(config, length, occ);
+        if (savings > 0)
+            heap.push({savings, id});
+    }
+
+    SelectionResult result;
+    std::vector<bool> consumed(program.text.size(), false);
+
+    while (!heap.empty() &&
+           result.dict.entries.size() < config.maxEntries) {
+        HeapEntry top = heap.top();
+        heap.pop();
+        const Candidate &cand = candidates[top.candId];
+        uint32_t length = static_cast<uint32_t>(cand.seq.size());
+        uint32_t occ =
+            countNonOverlapping(cand.positions, length, consumed);
+        int64_t savings = savingsNibbles(config, length, occ);
+        CC_ASSERT(savings <= top.savings,
+                  "candidate savings increased; lazy heap invalid");
+        if (savings <= 0)
+            continue;
+        if (savings < top.savings) {
+            heap.push({savings, top.candId});
+            continue;
+        }
+        accept(cand, static_cast<uint32_t>(result.dict.entries.size()),
+               consumed, result);
+    }
+    return finish(std::move(result));
+}
+
+SelectionResult
+selectGreedyReference(const Program &program, const GreedyConfig &config)
+{
+    Cfg cfg = Cfg::build(program);
+    std::vector<Candidate> candidates = enumerateCandidates(
+        program, cfg, config.minEntryLen, config.maxEntryLen);
+
+    SelectionResult result;
+    std::vector<bool> consumed(program.text.size(), false);
+
+    while (result.dict.entries.size() < config.maxEntries) {
+        int64_t best_savings = 0;
+        uint32_t best_id = UINT32_MAX;
+        for (uint32_t id = 0; id < candidates.size(); ++id) {
+            uint32_t length =
+                static_cast<uint32_t>(candidates[id].seq.size());
+            uint32_t occ = countNonOverlapping(candidates[id].positions,
+                                               length, consumed);
+            int64_t savings = savingsNibbles(config, length, occ);
+            if (savings > best_savings) {
+                best_savings = savings;
+                best_id = id;
+            }
+        }
+        if (best_id == UINT32_MAX)
+            break;
+        accept(candidates[best_id],
+               static_cast<uint32_t>(result.dict.entries.size()), consumed,
+               result);
+    }
+    return finish(std::move(result));
+}
+
+} // namespace codecomp::compress

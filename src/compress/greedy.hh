@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Greedy dictionary selection (paper section 3.1.1).
+ *
+ * Optimal dictionary choice is NP-complete [Storer77]; like the paper we
+ * pick greedily by immediate savings. The production implementation uses
+ * a lazy max-heap: replacing a sequence can only *destroy* occurrences of
+ * other candidates (codeword tokens can never re-create an instruction
+ * pattern), so a candidate's savings only ever decreases and lazy
+ * revalidation at pop time is exact, not a heuristic. A naive reference
+ * implementation is provided for differential testing.
+ */
+
+#ifndef CODECOMP_COMPRESS_GREEDY_HH
+#define CODECOMP_COMPRESS_GREEDY_HH
+
+#include "compress/candidates.hh"
+#include "compress/selection.hh"
+#include "program/program.hh"
+
+namespace codecomp::compress {
+
+/** Greedy selection over @p program with the lazy-heap algorithm. */
+SelectionResult selectGreedy(const Program &program,
+                             const GreedyConfig &config);
+
+/** O(candidates * iterations) reference implementation: recompute every
+ *  candidate's savings from scratch each round. Same tie-breaking rules
+ *  as selectGreedy; used by tests to prove the lazy heap exact. */
+SelectionResult selectGreedyReference(const Program &program,
+                                      const GreedyConfig &config);
+
+/** Savings, in nibbles, of one candidate under @p config given @p occ
+ *  live non-overlapping occurrences. Negative values mean growth. */
+inline int64_t
+savingsNibbles(const GreedyConfig &config, uint32_t length, uint32_t occ)
+{
+    int64_t per_occurrence =
+        static_cast<int64_t>(config.insnNibbles) * length -
+        static_cast<int64_t>(config.codewordNibbles);
+    int64_t dict_cost =
+        static_cast<int64_t>(config.dictEntryNibbles) * length +
+        config.dictEntryExtraNibbles;
+    return static_cast<int64_t>(occ) * per_occurrence - dict_cost;
+}
+
+} // namespace codecomp::compress
+
+#endif // CODECOMP_COMPRESS_GREEDY_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The result of compressing a program: the nibble-granular compressed
+ * .text stream, the rank-ordered dictionary, the patched .data image,
+ * and the address map from original instruction indices to compressed
+ * nibble offsets.
+ *
+ * Code pointers in the compressed address space are absolute nibble
+ * addresses: nibbleBase + offset, where nibbleBase = 2 * textBase.
+ * Jump tables, LR, and CTR all hold such pointers when a program runs
+ * on the CompressedCpu.
+ */
+
+#ifndef CODECOMP_COMPRESS_IMAGE_HH
+#define CODECOMP_COMPRESS_IMAGE_HH
+
+#include <unordered_map>
+
+#include "compress/encoding.hh"
+#include "compress/selection.hh"
+#include "program/program.hh"
+
+namespace codecomp::compress {
+
+/** Size breakdown of a compressed program, in nibbles (paper Fig 9). */
+struct Composition
+{
+    size_t insnNibbles = 0;     //!< uncompressed instruction words
+    size_t escapeNibbles = 0;   //!< escape bytes / escape nibbles
+    size_t codewordNibbles = 0; //!< codeword index portions
+    size_t dictNibbles = 0;     //!< dictionary contents
+
+    size_t
+    totalNibbles() const
+    {
+        return insnNibbles + escapeNibbles + codewordNibbles + dictNibbles;
+    }
+};
+
+struct CompressedImage
+{
+    /** Absolute nibble address of compressed-text offset 0. */
+    static constexpr uint32_t nibbleBase = Program::textBase * 2;
+
+    Scheme scheme = Scheme::Baseline;
+
+    /** The raw selection (entry order = selection order); retained for
+     *  the dictionary-usage analyses (paper Figs 6 and 7). */
+    SelectionResult selection;
+
+    /** Dictionary reordered so index == codeword rank. */
+    std::vector<std::vector<isa::Word>> entriesByRank;
+    std::vector<uint32_t> rankOfEntry; //!< selection entryId -> rank
+
+    std::vector<uint8_t> text; //!< compressed stream (nibble-packed)
+    size_t textNibbles = 0;
+
+    std::vector<uint8_t> data; //!< .data with jump tables re-patched
+    uint32_t dataBase = 0;
+
+    /** Original instruction index -> nibble offset of the item that
+     *  begins there (instruction, codeword, or far-branch stub). */
+    std::unordered_map<uint32_t, uint32_t> addrMap;
+
+    uint32_t entryPointNibble = 0;
+    Composition composition;
+    uint32_t originalTextBytes = 0;
+    uint32_t farBranchExpansions = 0;
+
+    /** Absolute code pointer for original instruction @p index. */
+    uint32_t
+    codePointer(uint32_t index) const
+    {
+        return nibbleBase + addrMap.at(index);
+    }
+
+    size_t compressedTextBytes() const { return (textNibbles + 1) / 2; }
+
+    size_t
+    dictionaryBytes() const
+    {
+        size_t total = 0;
+        for (const auto &entry : entriesByRank)
+            total += entry.size() * isa::instBytes;
+        return total;
+    }
+
+    /** Compressed program size: text plus dictionary overhead. */
+    size_t
+    totalBytes() const
+    {
+        return compressedTextBytes() + dictionaryBytes();
+    }
+
+    /** compressed size / original size (paper Eq. 1); < 1 is smaller. */
+    double
+    compressionRatio() const
+    {
+        return static_cast<double>(totalBytes()) / originalTextBytes;
+    }
+};
+
+} // namespace codecomp::compress
+
+#endif // CODECOMP_COMPRESS_IMAGE_HH

@@ -1,0 +1,176 @@
+#include "compress/objfile.hh"
+
+#include "support/serialize.hh"
+
+namespace codecomp {
+
+namespace {
+
+constexpr uint32_t programMagic = 0x43435052;   // "CCPR"
+constexpr uint32_t imageMagic = 0x4343494d;     // "CCIM"
+constexpr uint32_t formatVersion = 1;
+
+void
+putRange(ByteSink &sink, const InstRange &range)
+{
+    sink.put32(range.first);
+    sink.put32(range.count);
+}
+
+InstRange
+getRange(ByteSource &source)
+{
+    InstRange range;
+    range.first = source.get32();
+    range.count = source.get32();
+    return range;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+saveProgram(const Program &program)
+{
+    ByteSink sink;
+    sink.put32(programMagic);
+    sink.put32(formatVersion);
+
+    sink.put32(static_cast<uint32_t>(program.text.size()));
+    for (isa::Word word : program.text)
+        sink.put32(word);
+
+    sink.putBlob(program.data);
+
+    sink.put32(static_cast<uint32_t>(program.codeRelocs.size()));
+    for (const CodeReloc &reloc : program.codeRelocs) {
+        sink.put32(reloc.dataOffset);
+        sink.put32(reloc.targetIndex);
+    }
+
+    sink.put32(static_cast<uint32_t>(program.functions.size()));
+    for (const FunctionSymbol &fn : program.functions) {
+        sink.putString(fn.name);
+        putRange(sink, fn.body);
+        putRange(sink, fn.prologue);
+        sink.put32(static_cast<uint32_t>(fn.epilogues.size()));
+        for (const InstRange &ep : fn.epilogues)
+            putRange(sink, ep);
+    }
+
+    sink.put32(program.entryIndex);
+    return sink.take();
+}
+
+Program
+loadProgram(const std::vector<uint8_t> &bytes)
+{
+    ByteSource source(bytes);
+    if (source.get32() != programMagic)
+        CC_FATAL("not a .ccp program file");
+    if (source.get32() != formatVersion)
+        CC_FATAL("unsupported .ccp version");
+
+    Program program;
+    uint32_t text_count = source.get32();
+    program.text.reserve(text_count);
+    for (uint32_t i = 0; i < text_count; ++i)
+        program.text.push_back(source.get32());
+
+    program.data = source.getBlob();
+
+    uint32_t reloc_count = source.get32();
+    for (uint32_t i = 0; i < reloc_count; ++i) {
+        CodeReloc reloc;
+        reloc.dataOffset = source.get32();
+        reloc.targetIndex = source.get32();
+        program.codeRelocs.push_back(reloc);
+    }
+
+    uint32_t fn_count = source.get32();
+    for (uint32_t i = 0; i < fn_count; ++i) {
+        FunctionSymbol fn;
+        fn.name = source.getString();
+        fn.body = getRange(source);
+        fn.prologue = getRange(source);
+        uint32_t ep_count = source.get32();
+        for (uint32_t e = 0; e < ep_count; ++e)
+            fn.epilogues.push_back(getRange(source));
+        program.functions.push_back(std::move(fn));
+    }
+
+    program.entryIndex = source.get32();
+    if (!source.atEnd())
+        CC_FATAL("trailing bytes in .ccp file");
+    program.finalize(); // validates everything and sets dataBase
+    return program;
+}
+
+std::vector<uint8_t>
+saveImage(const compress::CompressedImage &image)
+{
+    ByteSink sink;
+    sink.put32(imageMagic);
+    sink.put32(formatVersion);
+
+    sink.put8(static_cast<uint8_t>(image.scheme));
+    sink.put64(image.textNibbles);
+    sink.putBlob(image.text);
+
+    sink.put32(static_cast<uint32_t>(image.entriesByRank.size()));
+    for (const auto &entry : image.entriesByRank) {
+        sink.put32(static_cast<uint32_t>(entry.size()));
+        for (isa::Word word : entry)
+            sink.put32(word);
+    }
+
+    sink.putBlob(image.data);
+    sink.put32(image.dataBase);
+    sink.put32(image.entryPointNibble);
+    sink.put32(image.originalTextBytes);
+    sink.put32(image.farBranchExpansions);
+    return sink.take();
+}
+
+compress::CompressedImage
+loadImage(const std::vector<uint8_t> &bytes)
+{
+    ByteSource source(bytes);
+    if (source.get32() != imageMagic)
+        CC_FATAL("not a .cci image file");
+    if (source.get32() != formatVersion)
+        CC_FATAL("unsupported .cci version");
+
+    compress::CompressedImage image;
+    uint8_t scheme = source.get8();
+    if (scheme > static_cast<uint8_t>(compress::Scheme::Nibble))
+        CC_FATAL("bad scheme in .cci file");
+    image.scheme = static_cast<compress::Scheme>(scheme);
+    image.textNibbles = source.get64();
+    image.text = source.getBlob();
+    if (image.text.size() * 2 < image.textNibbles)
+        CC_FATAL("nibble count exceeds stream size in .cci file");
+
+    uint32_t entries = source.get32();
+    if (entries > compress::schemeParams(image.scheme).maxCodewords)
+        CC_FATAL("too many dictionary entries in .cci file");
+    image.entriesByRank.resize(entries);
+    for (auto &entry : image.entriesByRank) {
+        uint32_t length = source.get32();
+        if (length == 0 || length > 64)
+            CC_FATAL("bad dictionary entry length in .cci file");
+        entry.reserve(length);
+        for (uint32_t k = 0; k < length; ++k)
+            entry.push_back(source.get32());
+    }
+
+    image.data = source.getBlob();
+    image.dataBase = source.get32();
+    image.entryPointNibble = source.get32();
+    image.originalTextBytes = source.get32();
+    image.farBranchExpansions = source.get32();
+    if (!source.atEnd())
+        CC_FATAL("trailing bytes in .cci file");
+    return image;
+}
+
+} // namespace codecomp

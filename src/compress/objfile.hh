@@ -1,0 +1,36 @@
+/**
+ * @file
+ * On-disk formats for linked programs (.ccp) and compressed images
+ * (.cci) -- the interchange between the minicc, ccompress, and ccrun
+ * command-line tools.
+ *
+ * The compressed-image format stores exactly what a compressed-code
+ * part would hold in ROM: the scheme, the nibble stream, the
+ * rank-ordered dictionary, the patched .data image, and the entry
+ * point. Analysis-only fields of CompressedImage (the raw selection,
+ * address map, composition) are not persisted; a loaded image
+ * executes, but the dictionary-usage analyses require the in-memory
+ * result of compressProgram().
+ */
+
+#ifndef CODECOMP_COMPRESS_OBJFILE_HH
+#define CODECOMP_COMPRESS_OBJFILE_HH
+
+#include "compress/image.hh"
+#include "program/program.hh"
+
+namespace codecomp {
+
+/** @{ Program (.ccp) serialization. */
+std::vector<uint8_t> saveProgram(const Program &program);
+Program loadProgram(const std::vector<uint8_t> &bytes);
+/** @} */
+
+/** @{ Compressed image (.cci) serialization. */
+std::vector<uint8_t> saveImage(const compress::CompressedImage &image);
+compress::CompressedImage loadImage(const std::vector<uint8_t> &bytes);
+/** @} */
+
+} // namespace codecomp
+
+#endif // CODECOMP_COMPRESS_OBJFILE_HH

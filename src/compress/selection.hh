@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared types for dictionary selection: dictionary entries, codeword
+ * placements, and the greedy builder's configuration.
+ */
+
+#ifndef CODECOMP_COMPRESS_SELECTION_HH
+#define CODECOMP_COMPRESS_SELECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace codecomp::compress {
+
+/** One compressed occurrence: @p length instructions starting at
+ *  original instruction index @p start map to dictionary entry
+ *  @p entryId. */
+struct Placement
+{
+    uint32_t start;
+    uint32_t length;
+    uint32_t entryId;
+
+    bool operator==(const Placement &) const = default;
+};
+
+/** The instruction dictionary: entryId -> original instruction words. */
+struct Dictionary
+{
+    std::vector<std::vector<isa::Word>> entries;
+
+    /** Storage cost of the dictionary contents in bytes (the overhead
+     *  the paper folds into every compressed program size). */
+    uint32_t
+    sizeBytes() const
+    {
+        uint32_t total = 0;
+        for (const auto &entry : entries)
+            total += static_cast<uint32_t>(entry.size()) * isa::instBytes;
+        return total;
+    }
+};
+
+/** Output of a selection algorithm. */
+struct SelectionResult
+{
+    Dictionary dict;
+    std::vector<Placement> placements; //!< sorted by start index
+    std::vector<uint32_t> useCount;    //!< placements per entry
+};
+
+/**
+ * Cost model and limits for greedy selection. Savings are computed in
+ * nibbles:
+ *
+ *   savings(seq) = occ * (insnNibbles * len - codewordNibbles)
+ *                - dictEntryNibbles * len
+ *
+ * where occ is the number of live non-overlapping occurrences. The
+ * codeword cost is the scheme's true cost for fixed-length schemes and
+ * an assumed cost for the nibble-aligned scheme, whose codeword lengths
+ * depend on the final frequency ranking (DESIGN.md section 5.3).
+ */
+struct GreedyConfig
+{
+    uint32_t maxEntries = 8192;
+    uint32_t maxEntryLen = 4;
+    uint32_t minEntryLen = 1;
+    uint32_t insnNibbles = 8;      //!< 9 under the nibble scheme (escape)
+    uint32_t codewordNibbles = 4;  //!< 2-byte baseline codeword
+    uint32_t dictEntryNibbles = 8; //!< dictionary stores raw words
+    uint32_t dictEntryExtraNibbles = 0; //!< fixed per-entry overhead
+                                        //!< (e.g. Liao's return insn)
+};
+
+} // namespace codecomp::compress
+
+#endif // CODECOMP_COMPRESS_SELECTION_HH

@@ -1,0 +1,120 @@
+#include "decompress/compressed_cpu.hh"
+
+#include "support/logging.hh"
+
+namespace codecomp {
+
+CompressedCpu::CompressedCpu(const compress::CompressedImage &image)
+    : image_(image), engine_(image),
+      unitNibbles_(compress::schemeParams(image.scheme).unitNibbles),
+      pc_(compress::CompressedImage::nibbleBase + image.entryPointNibble)
+{
+    machine_.loadImage(image.dataBase, image.data);
+}
+
+void
+CompressedCpu::execBranch(const isa::Inst &inst, uint32_t next_pc,
+                          uint32_t self_pc)
+{
+    bool taken;
+    uint32_t target = 0;
+    switch (inst.op) {
+      case isa::Op::B:
+        taken = true;
+        target = self_pc + static_cast<uint32_t>(inst.disp) * unitNibbles_;
+        break;
+      case isa::Op::Bc:
+        taken = machine_.evalCond(inst.bo, inst.bi);
+        target = self_pc + static_cast<uint32_t>(inst.disp) * unitNibbles_;
+        break;
+      case isa::Op::Bclr:
+        taken = machine_.evalCond(inst.bo, inst.bi);
+        target = machine_.lr();
+        break;
+      case isa::Op::Bcctr:
+        taken = machine_.evalCond(inst.bo, inst.bi);
+        target = machine_.ctr();
+        break;
+      default:
+        CC_PANIC("not a branch");
+    }
+    if (inst.lk)
+        machine_.setLr(next_pc);
+    if (taken) {
+        pc_ = target;
+        redirected_ = true;
+    }
+}
+
+bool
+CompressedCpu::step()
+{
+    if (machine_.halted())
+        return false;
+
+    uint32_t base = compress::CompressedImage::nibbleBase;
+    CC_ASSERT(pc_ >= base, "compressed PC below text base");
+    const DecodedItem &item = engine_.itemAt(pc_ - base);
+    if (fetch_hook_) {
+        uint32_t first_byte = pc_ / 2;
+        uint32_t last_byte = (pc_ + item.nibbles - 1) / 2;
+        fetch_hook_(first_byte, last_byte - first_byte + 1);
+    }
+    uint32_t next_pc = pc_ + item.nibbles;
+    uint32_t self_pc = pc_;
+    ++stats_.itemFetches;
+    redirected_ = false;
+
+    if (item.isCodeword) {
+        ++stats_.codewordFetches;
+        for (isa::Word word : engine_.entry(item.rank)) {
+            isa::Inst inst = isa::decode(word);
+            ++inst_count_;
+            ++stats_.expandedInsts;
+            CC_ASSERT(!inst.isRelativeBranch(),
+                      "relative branch inside a dictionary entry");
+            if (inst.isBranch()) {
+                execBranch(inst, next_pc, self_pc);
+                if (redirected_)
+                    break;
+            } else {
+                machine_.execute(inst);
+                if (machine_.halted())
+                    return false;
+            }
+        }
+    } else {
+        isa::Inst inst = isa::decode(item.word);
+        ++inst_count_;
+        if (inst.isBranch()) {
+            execBranch(inst, next_pc, self_pc);
+        } else {
+            machine_.execute(inst);
+            if (machine_.halted())
+                return false;
+        }
+    }
+    if (!redirected_)
+        pc_ = next_pc;
+    return true;
+}
+
+ExecResult
+CompressedCpu::run(uint64_t max_steps)
+{
+    while (!machine_.halted()) {
+        if (inst_count_ >= max_steps)
+            CC_FATAL("compressed program exceeded ", max_steps, " steps");
+        step();
+    }
+    return {machine_.output(), machine_.exitCode(), inst_count_};
+}
+
+ExecResult
+runCompressed(const compress::CompressedImage &image, uint64_t max_steps)
+{
+    CompressedCpu cpu(image);
+    return cpu.run(max_steps);
+}
+
+} // namespace codecomp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The compressed-program processor (paper Figure 3): a ppclite core
+ * whose fetch stage runs the DecompressionEngine. The program counter
+ * and all code pointers (LR, CTR, jump-table entries) are absolute
+ * nibble addresses in the compressed space.
+ */
+
+#ifndef CODECOMP_DECOMPRESS_COMPRESSED_CPU_HH
+#define CODECOMP_DECOMPRESS_COMPRESSED_CPU_HH
+
+#include <functional>
+
+#include "decompress/engine.hh"
+#include "decompress/machine.hh"
+
+namespace codecomp {
+
+/** Fetch-path statistics (decode-efficiency discussion, paper 2.1). */
+struct FetchStats
+{
+    uint64_t itemFetches = 0;     //!< slots fetched from the stream
+    uint64_t codewordFetches = 0; //!< slots that were codewords
+    uint64_t expandedInsts = 0;   //!< instructions produced by expansion
+};
+
+class CompressedCpu
+{
+  public:
+    static constexpr uint64_t defaultMaxSteps = 1ull << 28;
+
+    explicit CompressedCpu(const compress::CompressedImage &image);
+
+    ExecResult run(uint64_t max_steps = defaultMaxSteps);
+
+    /** Execute one fetch slot (a whole codeword expansion counts as
+     *  one slot); returns false once halted. */
+    bool step();
+
+    const Machine &machine() const { return machine_; }
+    const FetchStats &fetchStats() const { return stats_; }
+    uint32_t pc() const { return pc_; }
+
+    /** Observe every item fetch as a byte-granular access into the
+     *  compressed image (nibble addresses round outward to bytes). */
+    using FetchHook = std::function<void(uint32_t addr, uint32_t bytes)>;
+    void setFetchHook(FetchHook hook) { fetch_hook_ = std::move(hook); }
+
+  private:
+    /** Shared branch handling; @p next_pc is the fall-through pointer. */
+    void execBranch(const isa::Inst &inst, uint32_t next_pc,
+                    uint32_t self_pc);
+
+    const compress::CompressedImage &image_;
+    DecompressionEngine engine_;
+    Machine machine_;
+    unsigned unitNibbles_;
+    uint32_t pc_;
+    bool redirected_ = false;
+    uint64_t inst_count_ = 0;
+    FetchStats stats_;
+    FetchHook fetch_hook_;
+};
+
+/** Convenience: run a compressed image to completion. */
+ExecResult runCompressed(const compress::CompressedImage &image,
+                         uint64_t max_steps =
+                             CompressedCpu::defaultMaxSteps);
+
+} // namespace codecomp
+
+#endif // CODECOMP_DECOMPRESS_COMPRESSED_CPU_HH

@@ -1,0 +1,114 @@
+#include "decompress/cpu.hh"
+
+#include "support/logging.hh"
+
+namespace codecomp {
+
+namespace {
+
+std::vector<uint8_t>
+textImage(const Program &program)
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(program.text.size() * 4);
+    for (isa::Word w : program.text) {
+        bytes.push_back(static_cast<uint8_t>(w >> 24));
+        bytes.push_back(static_cast<uint8_t>(w >> 16));
+        bytes.push_back(static_cast<uint8_t>(w >> 8));
+        bytes.push_back(static_cast<uint8_t>(w));
+    }
+    return bytes;
+}
+
+} // namespace
+
+Cpu::Cpu(const Program &program) : program_(program)
+{
+    CC_ASSERT(program.dataBase != 0, "program not finalized");
+    machine_.loadImage(Program::textBase, textImage(program));
+
+    // Patch jump-table slots with byte addresses of their targets, then
+    // load .data.
+    std::vector<uint8_t> data = program.data;
+    for (const CodeReloc &reloc : program.codeRelocs) {
+        uint32_t addr = program.addrOfIndex(reloc.targetIndex);
+        data[reloc.dataOffset] = static_cast<uint8_t>(addr >> 24);
+        data[reloc.dataOffset + 1] = static_cast<uint8_t>(addr >> 16);
+        data[reloc.dataOffset + 2] = static_cast<uint8_t>(addr >> 8);
+        data[reloc.dataOffset + 3] = static_cast<uint8_t>(addr);
+    }
+    machine_.loadImage(program.dataBase, data);
+
+    pc_ = program.addrOfIndex(program.entryIndex);
+    // A return from the entry function with an empty call stack would
+    // jump to LR = 0; the entry code always exits via syscall instead.
+}
+
+bool
+Cpu::step()
+{
+    if (machine_.halted())
+        return false;
+
+    uint32_t index = program_.indexOfAddr(pc_);
+    if (fetch_hook_)
+        fetch_hook_(pc_, isa::instBytes);
+    isa::Inst inst = isa::decode(program_.text[index]);
+    ++inst_count_;
+
+    if (!inst.isBranch()) {
+        machine_.execute(inst);
+        pc_ += isa::instBytes;
+        return !machine_.halted();
+    }
+
+    uint32_t next_pc = pc_ + isa::instBytes;
+    bool taken;
+    uint32_t target = 0;
+    switch (inst.op) {
+      case isa::Op::B:
+        taken = true;
+        target = inst.aa ? static_cast<uint32_t>(inst.disp) * 4
+                         : pc_ + static_cast<uint32_t>(inst.disp) * 4;
+        break;
+      case isa::Op::Bc:
+        taken = machine_.evalCond(inst.bo, inst.bi);
+        target = inst.aa ? static_cast<uint32_t>(inst.disp) * 4
+                         : pc_ + static_cast<uint32_t>(inst.disp) * 4;
+        break;
+      case isa::Op::Bclr:
+        taken = machine_.evalCond(inst.bo, inst.bi);
+        target = machine_.lr() & ~3u;
+        break;
+      case isa::Op::Bcctr:
+        taken = machine_.evalCond(inst.bo, inst.bi);
+        target = machine_.ctr() & ~3u;
+        break;
+      default:
+        CC_PANIC("unexpected branch op");
+    }
+    if (inst.lk)
+        machine_.setLr(next_pc);
+    pc_ = taken ? target : next_pc;
+    return true;
+}
+
+ExecResult
+Cpu::run(uint64_t max_steps)
+{
+    while (!machine_.halted()) {
+        if (inst_count_ >= max_steps)
+            CC_FATAL("program exceeded ", max_steps, " steps");
+        step();
+    }
+    return {machine_.output(), machine_.exitCode(), inst_count_};
+}
+
+ExecResult
+runProgram(const Program &program, uint64_t max_steps)
+{
+    Cpu cpu(program);
+    return cpu.run(max_steps);
+}
+
+} // namespace codecomp

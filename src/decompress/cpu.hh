@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reference processor: executes an uncompressed Program directly.
+ */
+
+#ifndef CODECOMP_DECOMPRESS_CPU_HH
+#define CODECOMP_DECOMPRESS_CPU_HH
+
+#include <functional>
+#include <memory>
+
+#include "decompress/machine.hh"
+#include "program/program.hh"
+
+namespace codecomp {
+
+/**
+ * Interpreter for uncompressed ppclite programs. Code pointers (PC, LR,
+ * CTR, jump-table entries) are plain byte addresses.
+ */
+class Cpu
+{
+  public:
+    static constexpr uint64_t defaultMaxSteps = 1ull << 28;
+
+    /** Load .text and .data images and point the PC at the entry. */
+    explicit Cpu(const Program &program);
+
+    /** Run until exit; fatal if @p max_steps elapse first. */
+    ExecResult run(uint64_t max_steps = defaultMaxSteps);
+
+    /** Execute a single instruction; returns false once halted. */
+    bool step();
+
+    const Machine &machine() const { return machine_; }
+    uint32_t pc() const { return pc_; }
+
+    /** Observe every fetch (byte address + size); drives cache models. */
+    using FetchHook = std::function<void(uint32_t addr, uint32_t bytes)>;
+    void setFetchHook(FetchHook hook) { fetch_hook_ = std::move(hook); }
+
+  private:
+    const Program &program_;
+    Machine machine_;
+    uint32_t pc_;
+    uint64_t inst_count_ = 0;
+    FetchHook fetch_hook_;
+};
+
+/** Convenience wrapper: construct, run, return the result. */
+ExecResult runProgram(const Program &program,
+                      uint64_t max_steps = Cpu::defaultMaxSteps);
+
+} // namespace codecomp
+
+#endif // CODECOMP_DECOMPRESS_CPU_HH

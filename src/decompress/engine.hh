@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Decompression engine: the decode-stage dictionary expander of the
+ * compressed-program processor (paper Figure 3).
+ *
+ * The engine works from the raw compressed byte stream exactly as the
+ * hardware would: it distinguishes codewords from uncompressed
+ * instructions by the escape rule of the encoding (illegal primary
+ * opcodes under Baseline/OneByte, the first-nibble class under Nibble)
+ * and expands codewords through the rank-ordered dictionary. A one-time
+ * sequential scan builds the random-access item table that the fetch
+ * stage consults.
+ */
+
+#ifndef CODECOMP_DECOMPRESS_ENGINE_HH
+#define CODECOMP_DECOMPRESS_ENGINE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "compress/image.hh"
+
+namespace codecomp {
+
+/** One decoded slot of the compressed stream. */
+struct DecodedItem
+{
+    uint32_t nibbleAddr;  //!< offset within the compressed text
+    uint8_t nibbles;      //!< total size including any escape
+    bool isCodeword;
+    uint32_t rank = 0;    //!< dictionary rank (codewords)
+    isa::Word word = 0;   //!< instruction word (non-codewords)
+};
+
+class DecompressionEngine
+{
+  public:
+    explicit DecompressionEngine(const compress::CompressedImage &image);
+
+    /** Item starting at compressed-text nibble offset @p nibble_addr;
+     *  panics if the address is not an item boundary (a real processor
+     *  would fetch garbage -- our programs never do this). */
+    const DecodedItem &itemAt(uint32_t nibble_addr) const;
+
+    /** Dictionary entry for codeword rank @p rank. */
+    const std::vector<isa::Word> &
+    entry(uint32_t rank) const
+    {
+        return image_.entriesByRank.at(rank);
+    }
+
+    const std::vector<DecodedItem> &items() const { return items_; }
+    const compress::CompressedImage &image() const { return image_; }
+
+  private:
+    const compress::CompressedImage &image_;
+    std::vector<DecodedItem> items_;
+    std::unordered_map<uint32_t, uint32_t> byAddr_;
+};
+
+} // namespace codecomp
+
+#endif // CODECOMP_DECOMPRESS_ENGINE_HH

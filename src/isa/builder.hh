@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Assembler-style factory functions for ppclite instructions.
+ *
+ * These are the "templates" the SDTS code generator instantiates; they
+ * are also convenient in tests. All functions return a decoded Inst;
+ * call isa::encode() to obtain the 32-bit word.
+ */
+
+#ifndef CODECOMP_ISA_BUILDER_HH
+#define CODECOMP_ISA_BUILDER_HH
+
+#include "isa/inst.hh"
+
+namespace codecomp::isa {
+
+inline Inst
+makeDForm(Op op, uint8_t rt, uint8_t ra, int32_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rt = rt;
+    i.ra = ra;
+    i.imm = imm;
+    return i;
+}
+
+inline Inst addi(uint8_t rt, uint8_t ra, int32_t imm)
+{ return makeDForm(Op::Addi, rt, ra, imm); }
+
+inline Inst addis(uint8_t rt, uint8_t ra, int32_t imm)
+{ return makeDForm(Op::Addis, rt, ra, imm); }
+
+/** li rt, imm == addi rt, 0, imm (ra = 0 reads as constant zero). */
+inline Inst li(uint8_t rt, int32_t imm) { return addi(rt, 0, imm); }
+
+/** lis rt, imm == addis rt, 0, imm. */
+inline Inst lis(uint8_t rt, int32_t imm) { return addis(rt, 0, imm); }
+
+inline Inst mulli(uint8_t rt, uint8_t ra, int32_t imm)
+{ return makeDForm(Op::Mulli, rt, ra, imm); }
+
+inline Inst ori(uint8_t rt, uint8_t ra, int32_t imm)
+{ return makeDForm(Op::Ori, rt, ra, imm); }
+
+inline Inst oris(uint8_t rt, uint8_t ra, int32_t imm)
+{ return makeDForm(Op::Oris, rt, ra, imm); }
+
+inline Inst xori(uint8_t rt, uint8_t ra, int32_t imm)
+{ return makeDForm(Op::Xori, rt, ra, imm); }
+
+inline Inst andi(uint8_t rt, uint8_t ra, int32_t imm)
+{ return makeDForm(Op::Andi, rt, ra, imm); }
+
+inline Inst lwz(uint8_t rt, int32_t disp, uint8_t ra)
+{ return makeDForm(Op::Lwz, rt, ra, disp); }
+
+inline Inst lbz(uint8_t rt, int32_t disp, uint8_t ra)
+{ return makeDForm(Op::Lbz, rt, ra, disp); }
+
+inline Inst lhz(uint8_t rt, int32_t disp, uint8_t ra)
+{ return makeDForm(Op::Lhz, rt, ra, disp); }
+
+inline Inst stw(uint8_t rs, int32_t disp, uint8_t ra)
+{ return makeDForm(Op::Stw, rs, ra, disp); }
+
+inline Inst stb(uint8_t rs, int32_t disp, uint8_t ra)
+{ return makeDForm(Op::Stb, rs, ra, disp); }
+
+inline Inst sth(uint8_t rs, int32_t disp, uint8_t ra)
+{ return makeDForm(Op::Sth, rs, ra, disp); }
+
+inline Inst
+cmpi(uint8_t crf, uint8_t ra, int32_t simm)
+{
+    Inst i;
+    i.op = Op::Cmpi;
+    i.crf = crf;
+    i.ra = ra;
+    i.imm = simm;
+    return i;
+}
+
+inline Inst
+cmpli(uint8_t crf, uint8_t ra, int32_t uimm)
+{
+    Inst i;
+    i.op = Op::Cmpli;
+    i.crf = crf;
+    i.ra = ra;
+    i.imm = uimm;
+    return i;
+}
+
+inline Inst
+makeXForm(Op op, uint8_t rt, uint8_t ra, uint8_t rb)
+{
+    Inst i;
+    i.op = op;
+    i.rt = rt;
+    i.ra = ra;
+    i.rb = rb;
+    return i;
+}
+
+inline Inst add(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Add, rt, ra, rb); }
+
+/** subf rt, ra, rb computes rb - ra (PowerPC operand order). */
+inline Inst subf(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Subf, rt, ra, rb); }
+
+inline Inst neg(uint8_t rt, uint8_t ra)
+{ return makeXForm(Op::Neg, rt, ra, 0); }
+
+inline Inst mullw(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Mullw, rt, ra, rb); }
+
+inline Inst divw(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Divw, rt, ra, rb); }
+
+inline Inst and_(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::And, rt, ra, rb); }
+
+inline Inst or_(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Or, rt, ra, rb); }
+
+inline Inst xor_(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Xor, rt, ra, rb); }
+
+inline Inst slw(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Slw, rt, ra, rb); }
+
+inline Inst srw(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Srw, rt, ra, rb); }
+
+inline Inst sraw(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Sraw, rt, ra, rb); }
+
+inline Inst lwzx(uint8_t rt, uint8_t ra, uint8_t rb)
+{ return makeXForm(Op::Lwzx, rt, ra, rb); }
+
+/** srawi ra, rs, n: arithmetic right shift by immediate. */
+inline Inst
+srawi(uint8_t ra, uint8_t rs, uint8_t n)
+{
+    Inst i;
+    i.op = Op::Srawi;
+    i.rt = rs;
+    i.ra = ra;
+    i.sh = n;
+    return i;
+}
+
+/** mr rt, rs == or rt, rs, rs. */
+inline Inst mr(uint8_t rt, uint8_t rs) { return or_(rt, rs, rs); }
+
+inline Inst
+cmp(uint8_t crf, uint8_t ra, uint8_t rb)
+{
+    Inst i;
+    i.op = Op::Cmp;
+    i.crf = crf;
+    i.ra = ra;
+    i.rb = rb;
+    return i;
+}
+
+inline Inst
+cmpl(uint8_t crf, uint8_t ra, uint8_t rb)
+{
+    Inst i;
+    i.op = Op::Cmpl;
+    i.crf = crf;
+    i.ra = ra;
+    i.rb = rb;
+    return i;
+}
+
+inline Inst
+rlwinm(uint8_t ra, uint8_t rs, uint8_t sh, uint8_t mb, uint8_t me)
+{
+    Inst i;
+    i.op = Op::Rlwinm;
+    i.rt = rs;
+    i.ra = ra;
+    i.sh = sh;
+    i.mb = mb;
+    i.me = me;
+    return i;
+}
+
+/** slwi ra, rs, n == rlwinm ra, rs, n, 0, 31-n. */
+inline Inst slwi(uint8_t ra, uint8_t rs, uint8_t n)
+{ return rlwinm(ra, rs, n, 0, 31 - n); }
+
+/** srwi ra, rs, n == rlwinm ra, rs, 32-n, n, 31. */
+inline Inst srwi(uint8_t ra, uint8_t rs, uint8_t n)
+{ return rlwinm(ra, rs, (32 - n) & 31, n, 31); }
+
+/** clrlwi ra, rs, n == rlwinm ra, rs, 0, n, 31 (clear n high bits). */
+inline Inst clrlwi(uint8_t ra, uint8_t rs, uint8_t n)
+{ return rlwinm(ra, rs, 0, n, 31); }
+
+inline Inst
+b(int32_t disp, bool lk = false)
+{
+    Inst i;
+    i.op = Op::B;
+    i.disp = disp;
+    i.lk = lk;
+    return i;
+}
+
+inline Inst bl(int32_t disp) { return b(disp, true); }
+
+inline Inst
+bc(Bo bo, uint8_t bi, int32_t disp, bool lk = false)
+{
+    Inst i;
+    i.op = Op::Bc;
+    i.bo = static_cast<uint8_t>(bo);
+    i.bi = bi;
+    i.disp = disp;
+    i.lk = lk;
+    return i;
+}
+
+/** Condition-register bit index for field @p crf, bit @p bit. */
+inline uint8_t
+crBit(uint8_t crf, CrBit bit)
+{
+    return static_cast<uint8_t>(crf * 4 + static_cast<uint8_t>(bit));
+}
+
+inline Inst
+bclr(Bo bo, uint8_t bi, bool lk = false)
+{
+    Inst i;
+    i.op = Op::Bclr;
+    i.bo = static_cast<uint8_t>(bo);
+    i.bi = bi;
+    i.lk = lk;
+    return i;
+}
+
+inline Inst
+bcctr(Bo bo, uint8_t bi, bool lk = false)
+{
+    Inst i;
+    i.op = Op::Bcctr;
+    i.bo = static_cast<uint8_t>(bo);
+    i.bi = bi;
+    i.lk = lk;
+    return i;
+}
+
+inline Inst blr() { return bclr(Bo::Always, 0); }
+inline Inst bctr() { return bcctr(Bo::Always, 0); }
+inline Inst bctrl() { return bcctr(Bo::Always, 0, true); }
+
+inline Inst
+mtspr(Spr spr, uint8_t rs)
+{
+    Inst i;
+    i.op = Op::Mtspr;
+    i.rt = rs;
+    i.spr = static_cast<uint16_t>(spr);
+    return i;
+}
+
+inline Inst
+mfspr(uint8_t rt, Spr spr)
+{
+    Inst i;
+    i.op = Op::Mfspr;
+    i.rt = rt;
+    i.spr = static_cast<uint16_t>(spr);
+    return i;
+}
+
+inline Inst mtlr(uint8_t rs) { return mtspr(Spr::LR, rs); }
+inline Inst mflr(uint8_t rt) { return mfspr(rt, Spr::LR); }
+inline Inst mtctr(uint8_t rs) { return mtspr(Spr::CTR, rs); }
+inline Inst mfctr(uint8_t rt) { return mfspr(rt, Spr::CTR); }
+
+inline Inst
+sc()
+{
+    Inst i;
+    i.op = Op::Sc;
+    return i;
+}
+
+/** nop == ori r0, r0, 0. */
+inline Inst nop() { return ori(0, 0, 0); }
+
+} // namespace codecomp::isa
+
+#endif // CODECOMP_ISA_BUILDER_HH

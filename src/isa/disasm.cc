@@ -1,0 +1,176 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+
+namespace codecomp::isa {
+
+namespace {
+
+std::string
+fmt(const char *pattern, auto... args)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), pattern, args...);
+    return buf;
+}
+
+std::string
+branchTarget(const Inst &inst, uint32_t pc)
+{
+    // Architectural target of an uncompressed relative branch:
+    // pc + disp * 4 (or disp * 4 absolute when aa is set).
+    int64_t byte_off = static_cast<int64_t>(inst.disp) * 4;
+    if (inst.aa)
+        return fmt("0x%08x", static_cast<uint32_t>(byte_off));
+    if (pc == 0)
+        return fmt(".%+lld", static_cast<long long>(byte_off));
+    return fmt("0x%08x", static_cast<uint32_t>(pc + byte_off));
+}
+
+const char *
+condSuffix(uint8_t bo, uint8_t bi)
+{
+    bool want_true = bo == static_cast<uint8_t>(Bo::IfTrue);
+    switch (bi % 4) {
+      case 0:
+        return want_true ? "lt" : "ge";
+      case 1:
+        return want_true ? "gt" : "le";
+      case 2:
+        return want_true ? "eq" : "ne";
+      default:
+        return want_true ? "so" : "ns";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst, uint32_t pc)
+{
+    switch (inst.op) {
+      case Op::Addi:
+        if (inst.ra == 0)
+            return fmt("li r%d,%d", inst.rt, inst.imm);
+        return fmt("addi r%d,r%d,%d", inst.rt, inst.ra, inst.imm);
+      case Op::Addis:
+        if (inst.ra == 0)
+            return fmt("lis r%d,%d", inst.rt, inst.imm);
+        return fmt("addis r%d,r%d,%d", inst.rt, inst.ra, inst.imm);
+      case Op::Mulli:
+        return fmt("mulli r%d,r%d,%d", inst.rt, inst.ra, inst.imm);
+      case Op::Ori:
+        if (inst.rt == 0 && inst.ra == 0 && inst.imm == 0)
+            return "nop";
+        return fmt("ori r%d,r%d,%d", inst.rt, inst.ra, inst.imm);
+      case Op::Oris:
+        return fmt("oris r%d,r%d,%d", inst.rt, inst.ra, inst.imm);
+      case Op::Xori:
+        return fmt("xori r%d,r%d,%d", inst.rt, inst.ra, inst.imm);
+      case Op::Andi:
+        return fmt("andi. r%d,r%d,%d", inst.rt, inst.ra, inst.imm);
+      case Op::Cmpi:
+        return fmt("cmpwi cr%d,r%d,%d", inst.crf, inst.ra, inst.imm);
+      case Op::Cmpli:
+        return fmt("cmplwi cr%d,r%d,%d", inst.crf, inst.ra, inst.imm);
+      case Op::Lwz:
+        return fmt("lwz r%d,%d(r%d)", inst.rt, inst.imm, inst.ra);
+      case Op::Lbz:
+        return fmt("lbz r%d,%d(r%d)", inst.rt, inst.imm, inst.ra);
+      case Op::Lhz:
+        return fmt("lhz r%d,%d(r%d)", inst.rt, inst.imm, inst.ra);
+      case Op::Stw:
+        return fmt("stw r%d,%d(r%d)", inst.rt, inst.imm, inst.ra);
+      case Op::Stb:
+        return fmt("stb r%d,%d(r%d)", inst.rt, inst.imm, inst.ra);
+      case Op::Sth:
+        return fmt("sth r%d,%d(r%d)", inst.rt, inst.imm, inst.ra);
+      case Op::B:
+        return fmt("%s %s", inst.lk ? "bl" : "b",
+                   branchTarget(inst, pc).c_str());
+      case Op::Bc: {
+        if (inst.bo == static_cast<uint8_t>(Bo::Always))
+            return fmt("b%s %s", inst.lk ? "cl" : "c",
+                       branchTarget(inst, pc).c_str());
+        if (inst.bo == static_cast<uint8_t>(Bo::DecNz))
+            return fmt("bdnz %s", branchTarget(inst, pc).c_str());
+        return fmt("b%s%s cr%d,%s", condSuffix(inst.bo, inst.bi),
+                   inst.lk ? "l" : "", inst.bi / 4,
+                   branchTarget(inst, pc).c_str());
+      }
+      case Op::Bclr:
+        if (inst.bo == static_cast<uint8_t>(Bo::Always))
+            return inst.lk ? "blrl" : "blr";
+        return fmt("b%slr cr%d", condSuffix(inst.bo, inst.bi), inst.bi / 4);
+      case Op::Bcctr:
+        if (inst.bo == static_cast<uint8_t>(Bo::Always))
+            return inst.lk ? "bctrl" : "bctr";
+        return fmt("b%sctr cr%d", condSuffix(inst.bo, inst.bi), inst.bi / 4);
+      case Op::Rlwinm:
+        if (inst.sh == 0 && inst.me == 31)
+            return fmt("clrlwi r%d,r%d,%d", inst.ra, inst.rt, inst.mb);
+        if (inst.mb == 0 && inst.me == 31 - inst.sh)
+            return fmt("slwi r%d,r%d,%d", inst.ra, inst.rt, inst.sh);
+        if (inst.me == 31 && inst.sh == ((32 - inst.mb) & 31))
+            return fmt("srwi r%d,r%d,%d", inst.ra, inst.rt, inst.mb);
+        return fmt("rlwinm r%d,r%d,%d,%d,%d", inst.ra, inst.rt, inst.sh,
+                   inst.mb, inst.me);
+      case Op::Add:
+        return fmt("add r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Subf:
+        return fmt("subf r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Neg:
+        return fmt("neg r%d,r%d", inst.rt, inst.ra);
+      case Op::Mullw:
+        return fmt("mullw r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Divw:
+        return fmt("divw r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::And:
+        return fmt("and r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Or:
+        if (inst.ra == inst.rb)
+            return fmt("mr r%d,r%d", inst.rt, inst.ra);
+        return fmt("or r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Xor:
+        return fmt("xor r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Slw:
+        return fmt("slw r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Srw:
+        return fmt("srw r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Sraw:
+        return fmt("sraw r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Srawi:
+        return fmt("srawi r%d,r%d,%d", inst.ra, inst.rt, inst.sh);
+      case Op::Lwzx:
+        return fmt("lwzx r%d,r%d,r%d", inst.rt, inst.ra, inst.rb);
+      case Op::Cmp:
+        return fmt("cmpw cr%d,r%d,r%d", inst.crf, inst.ra, inst.rb);
+      case Op::Cmpl:
+        return fmt("cmplw cr%d,r%d,r%d", inst.crf, inst.ra, inst.rb);
+      case Op::Mtspr:
+        if (inst.spr == static_cast<uint16_t>(Spr::LR))
+            return fmt("mtlr r%d", inst.rt);
+        if (inst.spr == static_cast<uint16_t>(Spr::CTR))
+            return fmt("mtctr r%d", inst.rt);
+        return fmt("mtspr %d,r%d", inst.spr, inst.rt);
+      case Op::Mfspr:
+        if (inst.spr == static_cast<uint16_t>(Spr::LR))
+            return fmt("mflr r%d", inst.rt);
+        if (inst.spr == static_cast<uint16_t>(Spr::CTR))
+            return fmt("mfctr r%d", inst.rt);
+        return fmt("mfspr r%d,%d", inst.rt, inst.spr);
+      case Op::Sc:
+        return "sc";
+      case Op::Illegal:
+        return fmt(".word 0x%08x", inst.raw);
+    }
+    return "<bad>";
+}
+
+std::string
+disassembleWord(Word word, uint32_t pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace codecomp::isa

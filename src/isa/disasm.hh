@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Disassembler for ppclite instructions.
+ */
+
+#ifndef CODECOMP_ISA_DISASM_HH
+#define CODECOMP_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace codecomp::isa {
+
+/**
+ * Render one instruction as assembly text.
+ *
+ * @param inst decoded instruction
+ * @param pc   byte address of the instruction; used to print absolute
+ *             targets for relative branches (pass 0 to print raw
+ *             displacements instead)
+ */
+std::string disassemble(const Inst &inst, uint32_t pc = 0);
+
+/** Convenience: decode then disassemble a raw word. */
+std::string disassembleWord(Word word, uint32_t pc = 0);
+
+} // namespace codecomp::isa
+
+#endif // CODECOMP_ISA_DISASM_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Core definitions of the ppclite ISA: a 32-bit fixed-length,
+ * PowerPC-style RISC instruction set.
+ *
+ * ppclite keeps the PowerPC properties that the compression study depends
+ * on: a 6-bit primary opcode in the most significant bits of a big-endian
+ * instruction word (so unused opcode values yield *escape bytes*), 24-bit
+ * I-form and 14-bit B-form branch displacement fields, condition-register
+ * fields, and indirect branches through the link and count registers.
+ */
+
+#ifndef CODECOMP_ISA_ISA_HH
+#define CODECOMP_ISA_ISA_HH
+
+#include <array>
+#include <cstdint>
+
+namespace codecomp::isa {
+
+/** One 32-bit instruction word (stored big-endian in program memory). */
+using Word = uint32_t;
+
+/** Size of every uncompressed instruction in bytes. */
+constexpr unsigned instBytes = 4;
+
+/** Number of general-purpose registers. */
+constexpr unsigned numGprs = 32;
+
+/** Number of 4-bit condition-register fields. */
+constexpr unsigned numCrFields = 8;
+
+/** Primary (6-bit) opcode values; numbering follows PowerPC. */
+enum class PrimOp : uint8_t {
+    Mulli = 7,
+    Cmpli = 10,
+    Cmpi = 11,
+    Addi = 14,
+    Addis = 15,
+    Bc = 16,
+    Sc = 17,
+    B = 18,
+    Op19 = 19, //!< extended: bclr, bcctr
+    Rlwinm = 21,
+    Ori = 24,
+    Oris = 25,
+    Xori = 26,
+    Andi = 28,
+    Op31 = 31, //!< extended: register-register ALU, mtspr/mfspr, lwzx
+    Lwz = 32,
+    Lbz = 34,
+    Stw = 36,
+    Stb = 38,
+    Lhz = 40,
+    Sth = 44,
+};
+
+/** Extended (10-bit) opcodes under primary opcode 31. */
+enum class Xo31 : uint16_t {
+    Cmp = 0,
+    Lwzx = 23,
+    Slw = 24,
+    And = 28,
+    Cmpl = 32,
+    Subf = 40,
+    Neg = 104,
+    Mullw = 235,
+    Add = 266,
+    Xor = 316,
+    Mfspr = 339,
+    Or = 444,
+    Mtspr = 467,
+    Divw = 491,
+    Srw = 536,
+    Sraw = 792,
+    Srawi = 824,
+};
+
+/** Extended (10-bit) opcodes under primary opcode 19. */
+enum class Xo19 : uint16_t {
+    Bclr = 16,
+    Bcctr = 528,
+};
+
+/** Special-purpose register numbers. */
+enum class Spr : uint16_t {
+    LR = 8,
+    CTR = 9,
+};
+
+/**
+ * The eight illegal primary opcodes. ppclite, like PowerPC, leaves
+ * exactly eight 6-bit primary opcode values permanently unassigned; the
+ * baseline compression scheme claims them as codeword escape bytes
+ * (8 opcodes x 4 settings of the remaining 2 bits of the first byte
+ * = 32 escape bytes).
+ */
+constexpr std::array<uint8_t, 8> illegalPrimOps = {0, 1, 2, 3, 4, 5, 57, 58};
+
+/** True if @p primop is one of the eight permanently illegal values. */
+constexpr bool
+isIllegalPrimOp(uint8_t primop)
+{
+    for (uint8_t v : illegalPrimOps)
+        if (v == primop)
+            return true;
+    return false;
+}
+
+/** Extract the 6-bit primary opcode from an instruction word. */
+constexpr uint8_t
+primOpOf(Word word)
+{
+    return static_cast<uint8_t>(word >> 26);
+}
+
+/** Condition-register bit positions within one 4-bit field. */
+enum class CrBit : uint8_t {
+    Lt = 0,
+    Gt = 1,
+    Eq = 2,
+    So = 3,
+};
+
+/**
+ * BO field values (branch-condition operation) supported by ppclite.
+ * A subset of PowerPC's encodings, sufficient for compiled code.
+ */
+enum class Bo : uint8_t {
+    IfFalse = 4,   //!< branch if CR bit BI is 0
+    IfTrue = 12,   //!< branch if CR bit BI is 1
+    DecNz = 16,    //!< decrement CTR; branch if CTR != 0
+    Always = 20,   //!< branch unconditionally
+};
+
+/** System-call numbers (placed in r0 before `sc`). */
+enum class Syscall : uint32_t {
+    Exit = 0,    //!< terminate; exit code in r3
+    PutChar = 1, //!< write one byte from r3 to the output stream
+    PutInt = 2,  //!< write the decimal value of r3 plus a newline
+};
+
+} // namespace codecomp::isa
+
+#endif // CODECOMP_ISA_ISA_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The static linker: ObjectModules -> executable Program.
+ *
+ * Layout: a synthesized `_start` stub (call main, exit syscall) at
+ * instruction 0, then each module's .text in input order; .data is each
+ * module's data concatenated with 4-byte alignment between modules.
+ * Resolution: function symbols are global (duplicates and unresolved
+ * references are user errors); data references and jump-table slots are
+ * rebased into the final address space.
+ */
+
+#ifndef CODECOMP_LINK_LINKER_HH
+#define CODECOMP_LINK_LINKER_HH
+
+#include "link/object.hh"
+
+namespace codecomp::link {
+
+/**
+ * Link @p modules into a runnable Program. Exactly one module must
+ * define `main`. Fatal on duplicate or unresolved function symbols.
+ */
+Program linkModules(const std::vector<ObjectModule> &modules);
+
+} // namespace codecomp::link
+
+#endif // CODECOMP_LINK_LINKER_HH

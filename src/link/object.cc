@@ -1,0 +1,136 @@
+#include "link/object.hh"
+
+#include "support/serialize.hh"
+
+namespace codecomp::link {
+
+namespace {
+
+constexpr uint32_t moduleMagic = 0x4343434f; // "CCCO"
+constexpr uint32_t formatVersion = 1;
+
+void
+putRange(ByteSink &sink, const InstRange &range)
+{
+    sink.put32(range.first);
+    sink.put32(range.count);
+}
+
+InstRange
+getRange(ByteSource &source)
+{
+    InstRange range;
+    range.first = source.get32();
+    range.count = source.get32();
+    return range;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+saveModule(const ObjectModule &module)
+{
+    ByteSink sink;
+    sink.put32(moduleMagic);
+    sink.put32(formatVersion);
+    sink.putString(module.name);
+
+    sink.put32(static_cast<uint32_t>(module.text.size()));
+    for (isa::Word word : module.text)
+        sink.put32(word);
+    sink.putBlob(module.data);
+
+    sink.put32(static_cast<uint32_t>(module.functions.size()));
+    for (const FunctionSymbol &fn : module.functions) {
+        sink.putString(fn.name);
+        putRange(sink, fn.body);
+        putRange(sink, fn.prologue);
+        sink.put32(static_cast<uint32_t>(fn.epilogues.size()));
+        for (const InstRange &ep : fn.epilogues)
+            putRange(sink, ep);
+    }
+
+    sink.put32(static_cast<uint32_t>(module.calls.size()));
+    for (const CallReloc &reloc : module.calls) {
+        sink.put32(reloc.textIndex);
+        sink.putString(reloc.callee);
+    }
+
+    sink.put32(static_cast<uint32_t>(module.dataRefs.size()));
+    for (const DataReloc &reloc : module.dataRefs) {
+        sink.put32(reloc.textIndex);
+        sink.put32(reloc.dataOffset);
+        sink.put8(static_cast<uint8_t>(reloc.half));
+    }
+
+    sink.put32(static_cast<uint32_t>(module.tables.size()));
+    for (const TableReloc &reloc : module.tables) {
+        sink.put32(reloc.dataOffset);
+        sink.put32(reloc.textIndex);
+    }
+    return sink.take();
+}
+
+ObjectModule
+loadModule(const std::vector<uint8_t> &bytes)
+{
+    ByteSource source(bytes);
+    if (source.get32() != moduleMagic)
+        CC_FATAL("not a .cco object module");
+    if (source.get32() != formatVersion)
+        CC_FATAL("unsupported .cco version");
+
+    ObjectModule module;
+    module.name = source.getString();
+
+    uint32_t text_count = source.get32();
+    module.text.reserve(text_count);
+    for (uint32_t i = 0; i < text_count; ++i)
+        module.text.push_back(source.get32());
+    module.data = source.getBlob();
+
+    uint32_t fn_count = source.get32();
+    for (uint32_t i = 0; i < fn_count; ++i) {
+        FunctionSymbol fn;
+        fn.name = source.getString();
+        fn.body = getRange(source);
+        fn.prologue = getRange(source);
+        uint32_t ep_count = source.get32();
+        for (uint32_t e = 0; e < ep_count; ++e)
+            fn.epilogues.push_back(getRange(source));
+        module.functions.push_back(std::move(fn));
+    }
+
+    uint32_t call_count = source.get32();
+    for (uint32_t i = 0; i < call_count; ++i) {
+        CallReloc reloc;
+        reloc.textIndex = source.get32();
+        reloc.callee = source.getString();
+        module.calls.push_back(std::move(reloc));
+    }
+
+    uint32_t data_count = source.get32();
+    for (uint32_t i = 0; i < data_count; ++i) {
+        DataReloc reloc;
+        reloc.textIndex = source.get32();
+        reloc.dataOffset = source.get32();
+        uint8_t half = source.get8();
+        if (half > static_cast<uint8_t>(DataReloc::Half::Lo))
+            CC_FATAL("bad data relocation kind in .cco");
+        reloc.half = static_cast<DataReloc::Half>(half);
+        module.dataRefs.push_back(reloc);
+    }
+
+    uint32_t table_count = source.get32();
+    for (uint32_t i = 0; i < table_count; ++i) {
+        TableReloc reloc;
+        reloc.dataOffset = source.get32();
+        reloc.textIndex = source.get32();
+        module.tables.push_back(reloc);
+    }
+    if (!source.atEnd())
+        CC_FATAL("trailing bytes in .cco file");
+    return module;
+}
+
+} // namespace codecomp::link

@@ -1,0 +1,54 @@
+#include "program/cfg.hh"
+
+#include "support/logging.hh"
+
+namespace codecomp {
+
+Cfg
+Cfg::build(const Program &program)
+{
+    Cfg cfg;
+    size_t n = program.text.size();
+    CC_ASSERT(n > 0, "empty program");
+    cfg.leader_.assign(n, false);
+
+    auto mark = [&cfg, n](uint32_t index) {
+        CC_ASSERT(index < n, "leader out of range");
+        cfg.leader_[index] = true;
+    };
+
+    mark(program.entryIndex);
+
+    // Function entries are call targets; all are leaders.
+    for (const FunctionSymbol &fn : program.functions)
+        mark(fn.body.first);
+
+    // Jump-table slots hold code addresses; their targets are leaders.
+    for (const CodeReloc &reloc : program.codeRelocs)
+        mark(reloc.targetIndex);
+
+    for (uint32_t i = 0; i < n; ++i) {
+        isa::Inst inst = isa::decode(program.text[i]);
+        if (!inst.isBranch())
+            continue;
+        if (inst.isRelativeBranch())
+            mark(program.branchTargetIndex(i));
+        // The instruction after any branch starts a block (fall-through
+        // of a conditional, or return point of a call).
+        if (i + 1 < n)
+            mark(i + 1);
+    }
+    cfg.leader_[0] = true;
+
+    cfg.block_of_.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+        if (cfg.leader_[i])
+            cfg.blocks_.push_back({i, 0});
+        InstRange &blk = cfg.blocks_.back();
+        ++blk.count;
+        cfg.block_of_[i] = static_cast<uint32_t>(cfg.blocks_.size() - 1);
+    }
+    return cfg;
+}
+
+} // namespace codecomp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Basic-block analysis over a linked Program.
+ *
+ * The compressor may only form dictionary entries from sequences that lie
+ * entirely within one basic block (paper section 3.1.1): branches may
+ * target codewords, but never the interior of an encoded sequence.
+ * Block leaders are exactly the possible branch targets, so "sequence
+ * within a block" implies "no branch lands mid-sequence".
+ */
+
+#ifndef CODECOMP_PROGRAM_CFG_HH
+#define CODECOMP_PROGRAM_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace codecomp {
+
+/** Partition of .text into maximal single-entry straight-line runs. */
+class Cfg
+{
+  public:
+    /** Compute leaders and blocks for @p program. */
+    static Cfg build(const Program &program);
+
+    /** Block index ranges, in ascending order, covering all of .text. */
+    const std::vector<InstRange> &blocks() const { return blocks_; }
+
+    /** True if instruction @p index starts a basic block. */
+    bool isLeader(uint32_t index) const { return leader_.at(index); }
+
+    /** Index of the block containing instruction @p index. */
+    uint32_t blockOf(uint32_t index) const { return block_of_.at(index); }
+
+  private:
+    std::vector<InstRange> blocks_;
+    std::vector<bool> leader_;
+    std::vector<uint32_t> block_of_;
+};
+
+} // namespace codecomp
+
+#endif // CODECOMP_PROGRAM_CFG_HH

@@ -1,0 +1,77 @@
+#include "program/program.hh"
+
+#include "support/logging.hh"
+
+namespace codecomp {
+
+uint32_t
+Program::indexOfAddr(uint32_t addr) const
+{
+    CC_ASSERT(addr >= textBase && addr < textBase + textBytes(),
+              "address not in .text: ", addr);
+    CC_ASSERT(addr % isa::instBytes == 0, "misaligned text address");
+    return (addr - textBase) / isa::instBytes;
+}
+
+uint32_t
+Program::branchTargetIndex(uint32_t index) const
+{
+    isa::Inst inst = isa::decode(text.at(index));
+    CC_ASSERT(inst.isRelativeBranch(), "not a relative branch at ", index);
+    int64_t target;
+    if (inst.aa) {
+        // Absolute: byte address is disp * 4.
+        target = (static_cast<int64_t>(inst.disp) * 4 - textBase) /
+                 isa::instBytes;
+    } else {
+        target = static_cast<int64_t>(index) + inst.disp;
+    }
+    CC_ASSERT(target >= 0 && target < static_cast<int64_t>(text.size()),
+              "branch target out of range at ", index);
+    return static_cast<uint32_t>(target);
+}
+
+void
+Program::computeDataBase()
+{
+    uint32_t text_end = textBase + textBytes();
+    dataBase = (text_end + dataAlign - 1) / dataAlign * dataAlign;
+}
+
+void
+Program::finalize()
+{
+    computeDataBase();
+
+    CC_ASSERT(entryIndex < text.size(), "entry point out of range");
+
+    for (uint32_t i = 0; i < text.size(); ++i) {
+        isa::Inst inst = isa::decode(text[i]);
+        CC_ASSERT(inst.op != isa::Op::Illegal,
+                  "illegal instruction in .text at index ", i);
+        if (inst.isRelativeBranch())
+            branchTargetIndex(i); // asserts validity
+    }
+
+    for (const CodeReloc &reloc : codeRelocs) {
+        CC_ASSERT(reloc.dataOffset + 4 <= data.size(),
+                  "code reloc outside .data");
+        CC_ASSERT(reloc.targetIndex < text.size(),
+                  "code reloc target outside .text");
+    }
+
+    for (const FunctionSymbol &fn : functions) {
+        CC_ASSERT(fn.body.first + fn.body.count <= text.size(),
+                  "function ", fn.name, " outside .text");
+        auto inside = [&fn](const InstRange &r) {
+            return r.first >= fn.body.first &&
+                   r.first + r.count <= fn.body.first + fn.body.count;
+        };
+        CC_ASSERT(fn.prologue.count == 0 || inside(fn.prologue),
+                  "prologue outside function ", fn.name);
+        for (const InstRange &ep : fn.epilogues)
+            CC_ASSERT(inside(ep), "epilogue outside function ", fn.name);
+    }
+}
+
+} // namespace codecomp

@@ -1,0 +1,37 @@
+#include "support/logging.hh"
+
+#include <stdexcept>
+
+namespace codecomp {
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Throw rather than exit(1) so that library users (and the test
+    // suite) can observe user-level errors without losing the process.
+    throw std::runtime_error(std::string("fatal: ") + msg + " (" + file +
+                             ":" + std::to_string(line) + ")");
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace codecomp

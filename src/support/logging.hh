@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 idiom.
+ *
+ * panic()  -- an internal invariant was violated (a library bug); aborts.
+ * fatal()  -- the caller handed us something unusable (a user error);
+ *             exits with status 1.
+ * warn()   -- something works well enough but deserves attention.
+ * inform() -- plain status output.
+ */
+
+#ifndef CODECOMP_SUPPORT_LOGGING_HH
+#define CODECOMP_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace codecomp {
+
+namespace detail {
+
+/** Format the variadic tail of a log call into one string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace codecomp
+
+#define CC_PANIC(...)                                                        \
+    ::codecomp::detail::panicImpl(__FILE__, __LINE__,                        \
+        ::codecomp::detail::formatMessage(__VA_ARGS__))
+
+#define CC_FATAL(...)                                                        \
+    ::codecomp::detail::fatalImpl(__FILE__, __LINE__,                        \
+        ::codecomp::detail::formatMessage(__VA_ARGS__))
+
+#define CC_WARN(...)                                                         \
+    ::codecomp::detail::warnImpl(__FILE__, __LINE__,                         \
+        ::codecomp::detail::formatMessage(__VA_ARGS__))
+
+#define CC_INFORM(...)                                                       \
+    ::codecomp::detail::informImpl(                                          \
+        ::codecomp::detail::formatMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define CC_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            CC_PANIC("assertion failed: " #cond " ",                        \
+                     ::codecomp::detail::formatMessage(__VA_ARGS__));        \
+        }                                                                    \
+    } while (0)
+
+#endif // CODECOMP_SUPPORT_LOGGING_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (SplitMix64).
+ *
+ * The synthetic workload generators must be bit-reproducible across
+ * platforms and standard-library versions, so we avoid <random> engines
+ * and distributions entirely.
+ */
+
+#ifndef CODECOMP_SUPPORT_RNG_HH
+#define CODECOMP_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace codecomp {
+
+/** SplitMix64: tiny, fast, and statistically fine for workload shaping. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+                        static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace codecomp
+
+#endif // CODECOMP_SUPPORT_RNG_HH

@@ -1,0 +1,39 @@
+#include "support/serialize.hh"
+
+#include <cstdio>
+
+namespace codecomp {
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        CC_FATAL("cannot open '", path, "' for reading");
+    std::fseek(file, 0, SEEK_END);
+    long size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    size_t read = bytes.empty()
+                      ? 0
+                      : std::fread(bytes.data(), 1, bytes.size(), file);
+    std::fclose(file);
+    if (read != bytes.size())
+        CC_FATAL("short read from '", path, "'");
+    return bytes;
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        CC_FATAL("cannot open '", path, "' for writing");
+    size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+    std::fclose(file);
+    if (written != bytes.size())
+        CC_FATAL("short write to '", path, "'");
+}
+
+} // namespace codecomp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal big-endian binary serialization helpers used by the Program
+ * and CompressedImage file formats (the on-disk interchange of the
+ * minicc / ccompress / ccrun command-line tools).
+ */
+
+#ifndef CODECOMP_SUPPORT_SERIALIZE_HH
+#define CODECOMP_SUPPORT_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace codecomp {
+
+/** Append-only big-endian byte sink. */
+class ByteSink
+{
+  public:
+    void put8(uint8_t value) { bytes_.push_back(value); }
+
+    void
+    put32(uint32_t value)
+    {
+        put8(static_cast<uint8_t>(value >> 24));
+        put8(static_cast<uint8_t>(value >> 16));
+        put8(static_cast<uint8_t>(value >> 8));
+        put8(static_cast<uint8_t>(value));
+    }
+
+    void
+    put64(uint64_t value)
+    {
+        put32(static_cast<uint32_t>(value >> 32));
+        put32(static_cast<uint32_t>(value));
+    }
+
+    void
+    putString(const std::string &value)
+    {
+        put32(static_cast<uint32_t>(value.size()));
+        bytes_.insert(bytes_.end(), value.begin(), value.end());
+    }
+
+    void
+    putBlob(const std::vector<uint8_t> &value)
+    {
+        put32(static_cast<uint32_t>(value.size()));
+        bytes_.insert(bytes_.end(), value.begin(), value.end());
+    }
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Sequential big-endian byte source; fatal on malformed input. */
+class ByteSource
+{
+  public:
+    explicit ByteSource(const std::vector<uint8_t> &bytes)
+        : bytes_(bytes)
+    {}
+
+    uint8_t
+    get8()
+    {
+        if (pos_ >= bytes_.size())
+            CC_FATAL("truncated input file");
+        return bytes_[pos_++];
+    }
+
+    uint32_t
+    get32()
+    {
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i)
+            value = (value << 8) | get8();
+        return value;
+    }
+
+    uint64_t
+    get64()
+    {
+        uint64_t value = static_cast<uint64_t>(get32()) << 32;
+        return value | get32();
+    }
+
+    std::string
+    getString()
+    {
+        uint32_t size = get32();
+        if (pos_ + size > bytes_.size())
+            CC_FATAL("truncated string in input file");
+        std::string value(bytes_.begin() + static_cast<long>(pos_),
+                          bytes_.begin() + static_cast<long>(pos_ + size));
+        pos_ += size;
+        return value;
+    }
+
+    std::vector<uint8_t>
+    getBlob()
+    {
+        uint32_t size = get32();
+        if (pos_ + size > bytes_.size())
+            CC_FATAL("truncated blob in input file");
+        std::vector<uint8_t> value(
+            bytes_.begin() + static_cast<long>(pos_),
+            bytes_.begin() + static_cast<long>(pos_ + size));
+        pos_ += size;
+        return value;
+    }
+
+    bool atEnd() const { return pos_ == bytes_.size(); }
+    size_t pos() const { return pos_; }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+/** Read a whole file (fatal on failure). */
+std::vector<uint8_t> readFile(const std::string &path);
+
+/** Write a whole file (fatal on failure). */
+void writeFile(const std::string &path, const std::vector<uint8_t> &bytes);
+
+} // namespace codecomp
+
+#endif // CODECOMP_SUPPORT_SERIALIZE_HH

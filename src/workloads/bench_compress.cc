@@ -1,0 +1,134 @@
+/**
+ * @file
+ * `compress` substitute: an LZW-style dictionary coder over a
+ * pseudo-random symbol stream, echoing SPEC 129.compress. The smallest
+ * program in the suite, as in CINT95 (Table 2: fewest codewords).
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+std::string
+sourceCompress(int scale)
+{
+    GenSpec spec;
+    spec.seed = 0xc0401;
+    spec.leafFuncs = 12 * scale;
+    spec.midFuncs = 14 * scale;
+    spec.dispatchFuncs = 2;
+    spec.switchCases = 4;
+    spec.arrays = 2;
+    spec.arraySize = 64;
+    spec.loopTrip = 24;
+    FillerCode filler = generateFiller(spec, "cz", 12);
+
+    std::string src = R"(
+// ---- LZW-ish coder core ----
+int czc_input[512];
+int czc_hash[1024];
+int czc_codes[1024];
+int czc_output[600];
+int czc_outlen = 0;
+int czc_nextcode = 16;
+
+int czc_fill_input(int n, int seed) {
+    int i;
+    rt_srand(seed);
+    for (i = 0; i < n; i = i + 1) {
+        // 16-symbol alphabet with a skewed distribution, so digram
+        // patterns repeat the way bytes of real text do.
+        int r = rt_rand() & 255;
+        if (r < 128) czc_input[i] = r & 3;
+        else if (r < 200) czc_input[i] = 4 + (r & 3);
+        else czc_input[i] = 8 + (r & 7);
+    }
+    return n;
+}
+
+int czc_reset() {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) {
+        czc_hash[i] = -1;
+        czc_codes[i] = 0;
+    }
+    czc_outlen = 0;
+    czc_nextcode = 16;
+    return 0;
+}
+
+int czc_probe(int prefix, int symbol) {
+    int h = ((prefix << 4) ^ (symbol * 37)) & 1023;
+    int steps = 0;
+    while (steps < 1024) {
+        if (czc_hash[h] == -1) return h;
+        if (czc_hash[h] == (prefix << 8) + symbol) return h;
+        h = (h + 61) & 1023;
+        steps = steps + 1;
+    }
+    return h;
+}
+
+int czc_emit(int code) {
+    if (czc_outlen < 600) {
+        czc_output[czc_outlen] = code;
+        czc_outlen = czc_outlen + 1;
+    }
+    return code;
+}
+
+int czc_compress(int n) {
+    int i;
+    int prefix = czc_input[0];
+    for (i = 1; i < n; i = i + 1) {
+        int symbol = czc_input[i];
+        int slot = czc_probe(prefix, symbol);
+        if (czc_hash[slot] == (prefix << 8) + symbol) {
+            prefix = czc_codes[slot];
+        } else {
+            czc_emit(prefix);
+            if (czc_nextcode < 1024) {
+                czc_hash[slot] = (prefix << 8) + symbol;
+                czc_codes[slot] = czc_nextcode;
+                czc_nextcode = czc_nextcode + 1;
+            }
+            prefix = symbol;
+        }
+    }
+    czc_emit(prefix);
+    return czc_outlen;
+}
+
+int czc_checksum() {
+    int i;
+    int acc = 7;
+    for (i = 0; i < czc_outlen; i = i + 1)
+        acc = rt_checksum(acc, czc_output[i]);
+    return acc;
+}
+)";
+    src += filler.definitions;
+    src += R"(
+int main() {
+    int acc = 1;
+    int cz_it;
+    int round;
+    for (round = 0; round < 3; round = round + 1) {
+        czc_fill_input(512, 1000 + round * 77);
+        czc_reset();
+        int outlen = czc_compress(512);
+        puti(outlen);
+        acc = rt_checksum(acc, czc_checksum());
+    }
+)";
+    src += filler.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * `gcc` substitute: the largest program in the suite, as 126.gcc is in
+ * CINT95. Pairs a stack-machine constant folder (switch-driven, the way
+ * a compiler walks insn codes) with a very large filler pool of
+ * functions and dispatch switches.
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+std::string
+sourceGcc(int scale)
+{
+    // Two filler pools with different shapes, mimicking distinct
+    // compiler passes.
+    GenSpec front;
+    front.seed = 0x6cc01;
+    front.leafFuncs = 70 * scale;
+    front.midFuncs = 75 * scale;
+    front.dispatchFuncs = 6;
+    front.switchCases = 24;
+    front.arrays = 6;
+    front.arraySize = 96;
+    front.loopTrip = 24;
+    FillerCode filler_a = generateFiller(front, "gca", 12);
+
+    GenSpec back;
+    back.seed = 0x6cc02;
+    back.leafFuncs = 60 * scale;
+    back.midFuncs = 68 * scale;
+    back.dispatchFuncs = 5;
+    back.switchCases = 20;
+    back.arrays = 5;
+    back.arraySize = 80;
+    back.stmtsPerLeaf = 8;
+    back.stmtsPerMid = 6;
+    back.loopTrip = 20;
+    FillerCode filler_b = generateFiller(back, "gcb", 10);
+
+    std::string src = R"(
+// ---- RTL-ish stack-machine folder core ----
+int gfold_code[512];
+int gfold_stack[64];
+int gfold_sp = 0;
+
+int gfold_push(int v) {
+    if (gfold_sp < 64) {
+        gfold_stack[gfold_sp] = v;
+        gfold_sp = gfold_sp + 1;
+    }
+    return v;
+}
+
+int gfold_pop() {
+    if (gfold_sp > 0) {
+        gfold_sp = gfold_sp - 1;
+        return gfold_stack[gfold_sp];
+    }
+    return 0;
+}
+
+int gfold_gen(int n, int seed) {
+    int i;
+    rt_srand(seed);
+    for (i = 0; i < n; i = i + 1) {
+        int op = rt_rand() % 12;
+        // ops 0..7 binary/unary; 8..11 push-literal (packed op|imm<<4)
+        if (op >= 8) gfold_code[i] = 8 + ((rt_rand() & 1023) << 4);
+        else gfold_code[i] = op;
+    }
+    // Seed the stack so binary ops always have operands.
+    gfold_code[0] = 8 + (5 << 4);
+    gfold_code[1] = 8 + (9 << 4);
+    return n;
+}
+
+int gfold_eval(int n) {
+    int i;
+    int acc = 0;
+    gfold_sp = 0;
+    gfold_push(1);
+    gfold_push(2);
+    for (i = 0; i < n; i = i + 1) {
+        int insn = gfold_code[i];
+        int op = insn & 15;
+        switch (op) {
+          case 0: gfold_push(gfold_pop() + gfold_pop()); break;
+          case 1: gfold_push(gfold_pop() - gfold_pop()); break;
+          case 2: gfold_push(gfold_pop() * 3 + 1); break;
+          case 3: gfold_push(gfold_pop() & gfold_pop()); break;
+          case 4: gfold_push(gfold_pop() | gfold_pop()); break;
+          case 5: gfold_push(gfold_pop() ^ gfold_pop()); break;
+          case 6: gfold_push(gfold_pop() >> 1); break;
+          case 7: gfold_push(-gfold_pop()); break;
+          default: gfold_push(insn >> 4); break;
+        }
+        if (gfold_sp > 60) {
+            acc = rt_checksum(acc, gfold_pop());
+            gfold_sp = 2;
+        }
+    }
+    while (gfold_sp > 0) acc = rt_checksum(acc, gfold_pop());
+    return acc;
+}
+)";
+    src += filler_a.definitions;
+    src += filler_b.definitions;
+    // Giant compiler-style functions (gcc's largest functions span
+    // thousands of instructions); their loop-exit branches outrun the
+    // 14-bit bc offset field at finer codeword granularity (Table 1).
+    src += bigLoopFunction("gcx_big0", 2700, 0x6cc10);
+    src += bigLoopFunction("gcx_big1", 1000, 0x6cc11);
+    src += bigLoopFunction("gcx_big2", 520, 0x6cc12);
+    src += R"(
+int main() {
+    int acc = 1;
+    int gca_it;
+    int gcb_it;
+    int pass;
+    for (pass = 0; pass < 2; pass = pass + 1) {
+        gfold_gen(512, 4242 + pass);
+        acc = rt_checksum(acc, gfold_eval(512));
+    }
+    acc = rt_checksum(acc, gcx_big0(acc));
+    acc = rt_checksum(acc, gcx_big1(acc));
+    acc = rt_checksum(acc, gcx_big2(acc));
+)";
+    src += filler_a.mainStmts;
+    src += filler_b.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * `go` substitute: board-scanning evaluation functions over a 19x19
+ * grid (influence maps, group liberties, territory scoring), echoing
+ * SPEC 099.go's pattern-heavy evaluation code.
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+std::string
+sourceGo(int scale)
+{
+    GenSpec spec;
+    spec.seed = 0x90901;
+    spec.leafFuncs = 40 * scale;
+    spec.midFuncs = 55 * scale;
+    spec.dispatchFuncs = 4;
+    spec.switchCases = 12;
+    spec.arrays = 4;
+    spec.arraySize = 96;
+    spec.loopTrip = 32;
+    FillerCode filler = generateFiller(spec, "gob", 10);
+
+    std::string src = R"(
+// ---- board evaluation core (19x19, row-major, 0=empty 1/2=stones) ----
+int go_board[361];
+int go_infl[361];
+int go_libs[361];
+
+int go_at(int row, int col) {
+    if (row < 0) return 3;
+    if (row >= 19) return 3;
+    if (col < 0) return 3;
+    if (col >= 19) return 3;
+    return go_board[row * 19 + col];
+}
+
+int go_setup(int seed) {
+    int i;
+    rt_srand(seed);
+    for (i = 0; i < 361; i = i + 1) {
+        int r = rt_rand() % 10;
+        if (r < 3) go_board[i] = 1;
+        else if (r < 6) go_board[i] = 2;
+        else go_board[i] = 0;
+    }
+    return 0;
+}
+
+int go_influence() {
+    int row;
+    int col;
+    int total = 0;
+    for (row = 0; row < 19; row = row + 1) {
+        for (col = 0; col < 19; col = col + 1) {
+            int v = 0;
+            int c = go_at(row, col);
+            if (c == 1) v = v + 8;
+            if (c == 2) v = v - 8;
+            int u = go_at(row - 1, col);
+            int d = go_at(row + 1, col);
+            int l = go_at(row, col - 1);
+            int r = go_at(row, col + 1);
+            if (u == 1) v = v + 2;
+            if (u == 2) v = v - 2;
+            if (d == 1) v = v + 2;
+            if (d == 2) v = v - 2;
+            if (l == 1) v = v + 2;
+            if (l == 2) v = v - 2;
+            if (r == 1) v = v + 2;
+            if (r == 2) v = v - 2;
+            go_infl[row * 19 + col] = v;
+            total = total + v;
+        }
+    }
+    return total;
+}
+
+int go_liberties() {
+    int row;
+    int col;
+    int total = 0;
+    for (row = 0; row < 19; row = row + 1) {
+        for (col = 0; col < 19; col = col + 1) {
+            int c = go_at(row, col);
+            int libs = 0;
+            if (c == 1 || c == 2) {
+                if (go_at(row - 1, col) == 0) libs = libs + 1;
+                if (go_at(row + 1, col) == 0) libs = libs + 1;
+                if (go_at(row, col - 1) == 0) libs = libs + 1;
+                if (go_at(row, col + 1) == 0) libs = libs + 1;
+            }
+            go_libs[row * 19 + col] = libs;
+            total = total + libs;
+        }
+    }
+    return total;
+}
+
+int go_territory() {
+    int i;
+    int score = 0;
+    for (i = 0; i < 361; i = i + 1) {
+        if (go_board[i] == 0) {
+            if (go_infl[i] > 2) score = score + 1;
+            if (go_infl[i] < -2) score = score - 1;
+        }
+    }
+    return score;
+}
+
+int go_atari_count() {
+    int i;
+    int n = 0;
+    for (i = 0; i < 361; i = i + 1)
+        if (go_board[i] != 0 && go_libs[i] == 1) n = n + 1;
+    return n;
+}
+
+int go_play_move(int pos, int color) {
+    if (pos >= 0 && pos < 361) {
+        if (go_board[pos] == 0) {
+            go_board[pos] = color;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int go_evaluate() {
+    int v = go_influence();
+    int l = go_liberties();
+    int t = go_territory();
+    int a = go_atari_count();
+    return v + l * 2 + t * 16 - a * 3;
+}
+)";
+    src += filler.definitions;
+    src += R"(
+int main() {
+    int acc = 1;
+    int gob_it;
+    int move;
+    go_setup(777);
+    for (move = 0; move < 12; move = move + 1) {
+        go_play_move((move * 97 + 31) % 361, 1 + (move & 1));
+        acc = rt_checksum(acc, go_evaluate());
+    }
+)";
+    src += filler.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * `ijpeg` substitute: integer 8x8 block transforms with long
+ * straight-line butterfly code plus quantization/zigzag loops, echoing
+ * SPEC 132.ijpeg's DCT kernels.
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+namespace {
+
+/** Straight-line butterfly pass over one row/column (unrolled). */
+std::string
+butterfly(const std::string &fn_name, const std::string &stride_term)
+{
+    std::string src = "int " + fn_name + "(int base) {\n";
+    auto at = [&stride_term](int i) {
+        return "jp_block[base + " + stride_term + std::to_string(i) + "]";
+    };
+    src += "    int s0 = " + at(0) + " + " + at(7) + ";\n";
+    src += "    int s1 = " + at(1) + " + " + at(6) + ";\n";
+    src += "    int s2 = " + at(2) + " + " + at(5) + ";\n";
+    src += "    int s3 = " + at(3) + " + " + at(4) + ";\n";
+    src += "    int d0 = " + at(0) + " - " + at(7) + ";\n";
+    src += "    int d1 = " + at(1) + " - " + at(6) + ";\n";
+    src += "    int d2 = " + at(2) + " - " + at(5) + ";\n";
+    src += "    int d3 = " + at(3) + " - " + at(4) + ";\n";
+    src += "    " + at(0) + " = s0 + s3;\n";
+    src += "    " + at(4) + " = s0 - s3;\n";
+    src += "    " + at(2) + " = s1 + s2;\n";
+    src += "    " + at(6) + " = s1 - s2;\n";
+    src += "    " + at(1) + " = (d0 * 362 + d3 * 196) >> 8;\n";
+    src += "    " + at(7) + " = (d0 * 196 - d3 * 362) >> 8;\n";
+    src += "    " + at(3) + " = (d1 * 473 + d2 * 98) >> 8;\n";
+    src += "    " + at(5) + " = (d1 * 98 - d2 * 473) >> 8;\n";
+    src += "    return s0 + s1 + s2 + s3;\n}\n";
+    return src;
+}
+
+} // namespace
+
+std::string
+sourceIjpeg(int scale)
+{
+    GenSpec spec;
+    spec.seed = 0x19e901;
+    spec.leafFuncs = 34 * scale;
+    spec.midFuncs = 46 * scale;
+    spec.dispatchFuncs = 2;
+    spec.switchCases = 10;
+    spec.arrays = 4;
+    spec.arraySize = 64;
+    spec.loopTrip = 32;
+    spec.stmtsPerLeaf = 8;
+    FillerCode filler = generateFiller(spec, "jpf", 10);
+
+    std::string src = R"(
+// ---- 8x8 integer transform core ----
+int jp_block[64];
+int jp_quant[64];
+int jp_zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+int jp_coeff[64];
+
+int jp_fill_block(int seed) {
+    int i;
+    rt_srand(seed);
+    for (i = 0; i < 64; i = i + 1)
+        jp_block[i] = (rt_rand() & 255) - 128;
+    return 0;
+}
+
+int jp_init_quant() {
+    int i;
+    for (i = 0; i < 64; i = i + 1)
+        jp_quant[i] = 8 + ((i * 3) >> 2);
+    return 0;
+}
+)";
+    src += butterfly("jp_row_pass", "");
+    src += butterfly("jp_col_pass", "8 * ");
+    src += R"(
+int jp_transform() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 8; i = i + 1)
+        acc = acc + jp_row_pass(i * 8);
+    for (i = 0; i < 8; i = i + 1)
+        acc = acc + jp_col_pass(i);
+    return acc;
+}
+
+int jp_quantize() {
+    int i;
+    int nonzero = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        int q = jp_block[i] / jp_quant[i];
+        jp_coeff[jp_zigzag[i]] = q;
+        if (q != 0) nonzero = nonzero + 1;
+    }
+    return nonzero;
+}
+
+int jp_rle_cost() {
+    int i;
+    int run = 0;
+    int cost = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        if (jp_coeff[i] == 0) {
+            run = run + 1;
+        } else {
+            cost = cost + 4 + run + rt_ilog2(rt_abs(jp_coeff[i]) + 1);
+            run = 0;
+        }
+    }
+    return cost;
+}
+)";
+    src += filler.definitions;
+    src += R"(
+int main() {
+    int acc = 1;
+    int jpf_it;
+    int block;
+    jp_init_quant();
+    for (block = 0; block < 10; block = block + 1) {
+        jp_fill_block(9000 + block * 13);
+        acc = rt_checksum(acc, jp_transform());
+        acc = rt_checksum(acc, jp_quantize());
+        acc = rt_checksum(acc, jp_rle_cost());
+    }
+)";
+    src += filler.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * `li` substitute: a cons-cell expression interpreter with recursive
+ * evaluation over generated trees, echoing SPEC 130.li (xlisp).
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+std::string
+sourceLi(int scale)
+{
+    GenSpec spec;
+    spec.seed = 0x11501;
+    spec.leafFuncs = 24 * scale;
+    spec.midFuncs = 30 * scale;
+    spec.dispatchFuncs = 2;
+    spec.switchCases = 8;
+    spec.arrays = 3;
+    spec.arraySize = 48;
+    spec.loopTrip = 24;
+    FillerCode filler = generateFiller(spec, "lif", 10);
+
+    std::string src = R"(
+// ---- cons-cell interpreter core ----
+// Cell encoding: tag 0 = number (car holds value), tags 1..5 = ops
+// (add sub mul min max) with car/cdr as children.
+int li_tag[2048];
+int li_car[2048];
+int li_cdr[2048];
+int li_free = 0;
+int li_gc_count = 0;
+
+int li_cons(int tag, int a, int d) {
+    if (li_free >= 2048) {
+        // "GC": wrap the heap (trees are rebuilt each round anyway).
+        li_free = 0;
+        li_gc_count = li_gc_count + 1;
+    }
+    li_tag[li_free] = tag;
+    li_car[li_free] = a;
+    li_cdr[li_free] = d;
+    li_free = li_free + 1;
+    return li_free - 1;
+}
+
+int li_num(int v) { return li_cons(0, v, 0); }
+
+// Build a random expression tree of the given depth; returns cell.
+int li_gen(int depth) {
+    if (depth <= 0) return li_num(rt_rand() & 63);
+    int op = 1 + rt_rand() % 5;
+    int a = li_gen(depth - 1);
+    int d = li_gen(depth - 1);
+    return li_cons(op, a, d);
+}
+
+int li_eval(int cell) {
+    int tag = li_tag[cell];
+    if (tag == 0) return li_car[cell];
+    int a = li_eval(li_car[cell]);
+    int d = li_eval(li_cdr[cell]);
+    switch (tag) {
+      case 1: return a + d;
+      case 2: return a - d;
+      case 3: return (a & 1023) * (d & 1023);
+      case 4: return rt_min(a, d);
+      case 5: return rt_max(a, d);
+      default: return 0;
+    }
+}
+
+int li_count_nodes(int cell) {
+    if (li_tag[cell] == 0) return 1;
+    return 1 + li_count_nodes(li_car[cell]) + li_count_nodes(li_cdr[cell]);
+}
+
+int li_depth(int cell) {
+    if (li_tag[cell] == 0) return 0;
+    return 1 + rt_max(li_depth(li_car[cell]), li_depth(li_cdr[cell]));
+}
+
+// Fold a list of trees: cons each onto a running list, then sum.
+int li_list[32];
+int li_fold(int n) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < n; i = i + 1)
+        acc = rt_checksum(acc, li_eval(li_list[i]));
+    return acc;
+}
+)";
+    src += filler.definitions;
+    src += R"(
+int main() {
+    int acc = 1;
+    int lif_it;
+    int round;
+    rt_srand(31415);
+    for (round = 0; round < 6; round = round + 1) {
+        int i;
+        li_free = 0;
+        for (i = 0; i < 12; i = i + 1)
+            li_list[i] = li_gen(2 + (i & 3));
+        acc = rt_checksum(acc, li_fold(12));
+        acc = rt_checksum(acc, li_count_nodes(li_list[0]));
+        acc = rt_checksum(acc, li_depth(li_list[11]));
+    }
+    puti(li_gc_count);
+)";
+    src += filler.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * `m88ksim` substitute: a fetch/decode/dispatch CPU simulator with a
+ * register file, ALU switch, and tight interpreter loop -- the shape of
+ * SPEC 124.m88ksim.
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+std::string
+sourceM88ksim(int scale)
+{
+    GenSpec spec;
+    spec.seed = 0x88001;
+    spec.leafFuncs = 30 * scale;
+    spec.midFuncs = 38 * scale;
+    spec.dispatchFuncs = 2;
+    spec.switchCases = 12;
+    spec.arrays = 3;
+    spec.arraySize = 64;
+    spec.loopTrip = 24;
+    FillerCode filler = generateFiller(spec, "m8f", 10);
+
+    std::string src = R"(
+// ---- simulated-CPU core ----
+// Simulated insn word: op(4) | rd(4) | rs1(4) | rs2(4) | imm(16)
+int m8_imem[1024];
+int m8_regs[16];
+int m8_dmem[256];
+int m8_pc = 0;
+int m8_cycles = 0;
+int m8_taken = 0;
+
+int m8_load_program(int n, int seed) {
+    int i;
+    rt_srand(seed);
+    for (i = 0; i < n; i = i + 1) {
+        int op = rt_rand() % 12;
+        int rd = rt_rand() & 15;
+        int rs1 = rt_rand() & 15;
+        int rs2 = rt_rand() & 15;
+        int imm = rt_rand() & 255;
+        m8_imem[i] = (op << 28) | (rd << 24) | (rs1 << 20) | (rs2 << 16)
+                     | imm;
+    }
+    return n;
+}
+
+int m8_reset() {
+    int i;
+    for (i = 0; i < 16; i = i + 1) m8_regs[i] = i * 3 + 1;
+    for (i = 0; i < 256; i = i + 1) m8_dmem[i] = i ^ 42;
+    m8_pc = 0;
+    m8_cycles = 0;
+    m8_taken = 0;
+    return 0;
+}
+
+int m8_step() {
+    int insn = m8_imem[m8_pc];
+    int op = (insn >> 28) & 15;
+    int rd = (insn >> 24) & 15;
+    int rs1 = (insn >> 20) & 15;
+    int rs2 = (insn >> 16) & 15;
+    int imm = insn & 0xffff;
+    int next = m8_pc + 1;
+    switch (op) {
+      case 0: m8_regs[rd] = m8_regs[rs1] + m8_regs[rs2]; break;
+      case 1: m8_regs[rd] = m8_regs[rs1] - m8_regs[rs2]; break;
+      case 2: m8_regs[rd] = m8_regs[rs1] & m8_regs[rs2]; break;
+      case 3: m8_regs[rd] = m8_regs[rs1] | m8_regs[rs2]; break;
+      case 4: m8_regs[rd] = m8_regs[rs1] ^ imm; break;
+      case 5: m8_regs[rd] = m8_regs[rs1] + imm; break;
+      case 6: m8_regs[rd] = (m8_regs[rs1] & 65535) * (imm & 255); break;
+      case 7: m8_regs[rd] = m8_dmem[m8_regs[rs1] & 255]; break;
+      case 8: m8_dmem[m8_regs[rs1] & 255] = m8_regs[rs2]; break;
+      case 9:
+        if (m8_regs[rs1] > m8_regs[rs2]) {
+            next = imm & 1023;
+            m8_taken = m8_taken + 1;
+        }
+        break;
+      case 10: m8_regs[rd] = m8_regs[rs1] << (imm & 15); break;
+      default: m8_regs[rd] = m8_regs[rs1] >> (imm & 15); break;
+    }
+    m8_regs[0] = 0;
+    m8_pc = next;
+    if (m8_pc >= 1024) m8_pc = 0;
+    m8_cycles = m8_cycles + 1;
+    return op;
+}
+
+int m8_run(int cycles) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < cycles; i = i + 1)
+        acc = acc + m8_step();
+    return acc;
+}
+
+int m8_regs_checksum() {
+    int i;
+    int acc = 3;
+    for (i = 0; i < 16; i = i + 1)
+        acc = rt_checksum(acc, m8_regs[i]);
+    return acc;
+}
+)";
+    src += filler.definitions;
+    src += R"(
+int main() {
+    int acc = 1;
+    int m8f_it;
+    m8_load_program(1024, 8888);
+    m8_reset();
+    acc = rt_checksum(acc, m8_run(20000));
+    acc = rt_checksum(acc, m8_regs_checksum());
+    puti(m8_taken);
+)";
+    src += filler.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * `perl` substitute: string hashing, naive pattern matching, and a
+ * bytecode interpreter loop over "string" byte arrays -- the text-heavy
+ * interpreter shape of SPEC 134.perl.
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+std::string
+sourcePerl(int scale)
+{
+    GenSpec spec;
+    spec.seed = 0x9e4101;
+    spec.leafFuncs = 38 * scale;
+    spec.midFuncs = 48 * scale;
+    spec.dispatchFuncs = 3;
+    spec.switchCases = 14;
+    spec.arrays = 4;
+    spec.arraySize = 72;
+    spec.loopTrip = 24;
+    FillerCode filler = generateFiller(spec, "plf", 10);
+
+    std::string src = R"(
+// ---- text/interpreter core ----
+int pl_text[1024];
+int pl_pat[8];
+int pl_hashtab[128];
+int pl_prog[256];
+int pl_vars[16];
+
+int pl_gen_text(int n, int seed) {
+    int i;
+    rt_srand(seed);
+    for (i = 0; i < n; i = i + 1) {
+        int r = rt_rand() & 31;
+        // Mostly lowercase letters with spaces sprinkled in.
+        if (r < 26) pl_text[i] = 'a' + r;
+        else pl_text[i] = ' ';
+    }
+    return n;
+}
+
+int pl_hash_string(int start, int len) {
+    int h = 5381;
+    int i;
+    for (i = 0; i < len; i = i + 1)
+        h = h * 33 + pl_text[start + i];
+    return h & 0x7fffffff;
+}
+
+int pl_hash_words(int n) {
+    int i;
+    int start = 0;
+    int count = 0;
+    for (i = 0; i < 128; i = i + 1) pl_hashtab[i] = 0;
+    for (i = 0; i < n; i = i + 1) {
+        if (pl_text[i] == ' ') {
+            if (i > start) {
+                int h = pl_hash_string(start, i - start) & 127;
+                pl_hashtab[h] = pl_hashtab[h] + 1;
+                count = count + 1;
+            }
+            start = i + 1;
+        }
+    }
+    return count;
+}
+
+int pl_match_count(int n, int plen) {
+    int i;
+    int j;
+    int count = 0;
+    for (i = 0; i + plen <= n; i = i + 1) {
+        int ok = 1;
+        for (j = 0; j < plen; j = j + 1)
+            if (pl_text[i + j] != pl_pat[j]) ok = 0;
+        if (ok) count = count + 1;
+    }
+    return count;
+}
+
+// Tiny bytecode VM: op(8) | a(8) | b(8) | c(8).
+int pl_gen_prog(int n, int seed) {
+    int i;
+    rt_srand(seed);
+    for (i = 0; i < n; i = i + 1) {
+        int op = rt_rand() % 9;
+        int a = rt_rand() & 15;
+        int b = rt_rand() & 15;
+        int c = rt_rand() & 255;
+        pl_prog[i] = (op << 24) | (a << 16) | (b << 8) | c;
+    }
+    return n;
+}
+
+int pl_interp(int n) {
+    int ip;
+    int steps = 0;
+    for (ip = 0; ip < n; ip = ip + 1) {
+        int insn = pl_prog[ip];
+        int op = (insn >> 24) & 255;
+        int a = (insn >> 16) & 15;
+        int b = (insn >> 8) & 15;
+        int c = insn & 255;
+        switch (op) {
+          case 0: pl_vars[a] = c; break;
+          case 1: pl_vars[a] = pl_vars[b] + c; break;
+          case 2: pl_vars[a] = pl_vars[a] + pl_vars[b]; break;
+          case 3: pl_vars[a] = pl_vars[a] ^ pl_vars[b]; break;
+          case 4: pl_vars[a] = pl_vars[b] * 17 + 255; break;
+          case 5: pl_vars[a] = pl_text[(pl_vars[b] + c) & 1023]; break;
+          case 6: pl_vars[a] = rt_max(pl_vars[a], pl_vars[b]); break;
+          case 7: pl_vars[a] = pl_vars[b] >> (c & 7); break;
+          default: pl_vars[a] = pl_vars[b] & c; break;
+        }
+        steps = steps + 1;
+    }
+    return steps;
+}
+
+int pl_vars_checksum() {
+    int i;
+    int acc = 11;
+    for (i = 0; i < 16; i = i + 1)
+        acc = rt_checksum(acc, pl_vars[i]);
+    return acc;
+}
+)";
+    src += filler.definitions;
+    src += bigLoopFunction("plx_big0", 560, 0x9e4110);
+    src += R"(
+int main() {
+    int acc = 1;
+    int plf_it;
+    int round;
+    for (round = 0; round < 4; round = round + 1) {
+        pl_gen_text(1024, 555 + round);
+        acc = rt_checksum(acc, pl_hash_words(1024));
+        pl_pat[0] = 't'; pl_pat[1] = 'h'; pl_pat[2] = 'e';
+        acc = rt_checksum(acc, pl_match_count(1024, 3));
+        pl_gen_prog(256, 999 + round);
+        pl_interp(256);
+        acc = rt_checksum(acc, pl_vars_checksum());
+    }
+    acc = rt_checksum(acc, plx_big0(acc));
+)";
+    src += filler.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * `vortex` substitute: an object-store / in-memory database with
+ * hash-chained records, field accessors, and transaction loops --
+ * echoing SPEC 147.vortex's many small manipulation routines.
+ */
+
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::workloads {
+
+namespace {
+
+/** Generate get/set accessor pairs for one record field array. */
+std::string
+accessors(const std::string &field)
+{
+    std::string src;
+    src += "int vx_get_" + field + "(int rec) { return vx_" + field +
+           "[rec]; }\n";
+    src += "int vx_set_" + field + "(int rec, int v) { vx_" + field +
+           "[rec] = v; return v; }\n";
+    return src;
+}
+
+} // namespace
+
+std::string
+sourceVortex(int scale)
+{
+    GenSpec spec;
+    spec.seed = 0x0e7e01;
+    spec.leafFuncs = 45 * scale;
+    spec.midFuncs = 60 * scale;
+    spec.dispatchFuncs = 3;
+    spec.switchCases = 14;
+    spec.arrays = 4;
+    spec.arraySize = 80;
+    spec.loopTrip = 24;
+    FillerCode filler = generateFiller(spec, "vxf", 10);
+
+    std::string src = R"(
+// ---- object-store core ----
+int vx_id[512];
+int vx_score[512];
+int vx_flags[512];
+int vx_parent[512];
+int vx_next[512];
+int vx_bucket[64];
+int vx_count = 0;
+)";
+    for (const char *field : {"id", "score", "flags", "parent"})
+        src += accessors(field);
+    src += R"(
+int vx_hash_id(int id) { return (id * 2654435 + 7) & 63; }
+
+int vx_reset() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) vx_bucket[i] = -1;
+    vx_count = 0;
+    return 0;
+}
+
+int vx_insert(int id, int score, int parent) {
+    int rec = vx_count;
+    if (rec >= 512) return -1;
+    vx_count = vx_count + 1;
+    vx_set_id(rec, id);
+    vx_set_score(rec, score);
+    vx_set_flags(rec, 0);
+    vx_set_parent(rec, parent);
+    int b = vx_hash_id(id);
+    vx_next[rec] = vx_bucket[b];
+    vx_bucket[b] = rec;
+    return rec;
+}
+
+int vx_lookup(int id) {
+    int rec = vx_bucket[vx_hash_id(id)];
+    int steps = 0;
+    while (rec != -1 && steps < 512) {
+        if (vx_get_id(rec) == id) return rec;
+        rec = vx_next[rec];
+        steps = steps + 1;
+    }
+    return -1;
+}
+
+int vx_update_score(int id, int delta) {
+    int rec = vx_lookup(id);
+    if (rec == -1) return 0;
+    vx_set_score(rec, vx_get_score(rec) + delta);
+    vx_set_flags(rec, vx_get_flags(rec) | 1);
+    return 1;
+}
+
+int vx_chain_depth(int rec) {
+    int depth = 0;
+    while (rec != -1 && depth < 64) {
+        rec = vx_get_parent(rec);
+        depth = depth + 1;
+    }
+    return depth;
+}
+
+int vx_scan_total() {
+    int i;
+    int total = 0;
+    for (i = 0; i < vx_count; i = i + 1) {
+        total = total + vx_get_score(i);
+        if (vx_get_flags(i) & 1) total = total + 1;
+    }
+    return total;
+}
+
+int vx_transaction(int seed) {
+    int i;
+    int hits = 0;
+    rt_srand(seed);
+    for (i = 0; i < 200; i = i + 1) {
+        int id = rt_rand() & 1023;
+        int kind = rt_rand() % 3;
+        if (kind == 0) {
+            vx_insert(id, rt_rand() & 255, (vx_count > 0)
+                          * (rt_rand() % (vx_count + 1)) - 1);
+        } else if (kind == 1) {
+            hits = hits + vx_update_score(id, (rt_rand() & 31) - 16);
+        } else {
+            int rec = vx_lookup(id);
+            if (rec != -1) hits = hits + vx_chain_depth(rec);
+        }
+    }
+    return hits;
+}
+)";
+    src += filler.definitions;
+    src += bigLoopFunction("vxx_big0", 620, 0x0e7e10);
+    src += R"(
+int main() {
+    int acc = 1;
+    int vxf_it;
+    int round;
+    vx_reset();
+    for (round = 0; round < 4; round = round + 1) {
+        acc = rt_checksum(acc, vx_transaction(4000 + round * 11));
+        acc = rt_checksum(acc, vx_scan_total());
+        acc = rt_checksum(acc, vx_count);
+    }
+    acc = rt_checksum(acc, vxx_big0(acc));
+)";
+    src += filler.mainStmts;
+    src += R"(
+    puti(acc);
+    return 0;
+}
+)";
+    return src;
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Common machinery for the synthetic benchmark generators.
+ *
+ * Each SPEC CINT95 substitute combines a hand-written "core" (the
+ * algorithmic personality of its namesake: an LZW coder for compress, a
+ * decode-dispatch interpreter for m88ksim, ...) with bulk "filler" code
+ * produced here: pools of leaf/mid/dispatch functions whose structure
+ * mimics what an SDTS compiler sees in large C programs. The filler is
+ * what gives each program its SPEC-like static size and redundancy
+ * profile; the core is what it executes.
+ */
+
+#ifndef CODECOMP_WORKLOADS_GENERATOR_HH
+#define CODECOMP_WORKLOADS_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace codecomp::workloads {
+
+/** Shape parameters for a filler-code pool. */
+struct GenSpec
+{
+    uint64_t seed = 1;
+    int leafFuncs = 10;      //!< straight-line arithmetic functions
+    int midFuncs = 10;       //!< array-loop functions that call leaves
+    int dispatchFuncs = 2;   //!< switch dispatchers over the mids
+    int switchCases = 8;     //!< cases per dispatcher
+    int arrays = 4;          //!< global work arrays
+    int arraySize = 64;
+    int stmtsPerLeaf = 6;
+    int stmtsPerMid = 5;
+    int exprDepth = 3;       //!< max binary-expression nesting
+    int loopTrip = 32;       //!< mid-function loop bound (<= arraySize)
+};
+
+/** Output of the filler generator. */
+struct FillerCode
+{
+    std::string definitions; //!< globals + functions, MiniC source
+    std::string mainStmts;   //!< statements for main(); update `acc`
+};
+
+/**
+ * Generate a filler pool. @p prefix namespaces all identifiers;
+ * @p iters is how many dispatcher calls main should make. The emitted
+ * mainStmts assume `int acc;` and `int <prefix>_it;` are in scope and
+ * update `acc` via rt_checksum.
+ */
+FillerCode generateFiller(const GenSpec &spec, const std::string &prefix,
+                          int iters);
+
+/**
+ * One very large function: a while loop whose body is ~2 * @p stmts
+ * instructions of register arithmetic. Large compiler-style functions
+ * like these are what give real programs conditional branches that
+ * outrun their offset fields at finer target granularity (paper
+ * Table 1); the loop's exit branch spans the whole body. The function
+ * runs exactly two iterations, so it is cheap to execute.
+ */
+std::string bigLoopFunction(const std::string &name, int stmts,
+                            uint64_t seed);
+
+} // namespace codecomp::workloads
+
+#endif // CODECOMP_WORKLOADS_GENERATOR_HH

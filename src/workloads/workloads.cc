@@ -1,0 +1,47 @@
+#include "workloads/workloads.hh"
+
+#include "codegen/codegen.hh"
+#include "support/logging.hh"
+
+namespace codecomp::workloads {
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "compress", "gcc", "go", "ijpeg",
+        "li", "m88ksim", "perl", "vortex",
+    };
+    return names;
+}
+
+std::string
+benchmarkSource(const std::string &name, int scale)
+{
+    CC_ASSERT(scale >= 1, "scale must be positive");
+    if (name == "compress")
+        return sourceCompress(scale);
+    if (name == "gcc")
+        return sourceGcc(scale);
+    if (name == "go")
+        return sourceGo(scale);
+    if (name == "ijpeg")
+        return sourceIjpeg(scale);
+    if (name == "li")
+        return sourceLi(scale);
+    if (name == "m88ksim")
+        return sourceM88ksim(scale);
+    if (name == "perl")
+        return sourcePerl(scale);
+    if (name == "vortex")
+        return sourceVortex(scale);
+    CC_FATAL("unknown benchmark '", name, "'");
+}
+
+Program
+buildBenchmark(const std::string &name, int scale)
+{
+    return codegen::compile(benchmarkSource(name, scale));
+}
+
+} // namespace codecomp::workloads

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The synthetic SPEC CINT95 substitute suite.
+ *
+ * Eight deterministic MiniC programs named after the CINT95 benchmarks
+ * the paper measures. Each pairs a hand-written algorithmic core that
+ * echoes its namesake's behaviour (LZW coding for compress, a CPU
+ * decode-dispatch loop for m88ksim, a cons-cell interpreter for li, ...)
+ * with generated filler code that gives it a SPEC-like static size and
+ * redundancy profile. See DESIGN.md section 2 for the substitution
+ * rationale.
+ */
+
+#ifndef CODECOMP_WORKLOADS_WORKLOADS_HH
+#define CODECOMP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace codecomp::workloads {
+
+/** The benchmark names, in the paper's order. */
+const std::vector<std::string> &benchmarkNames();
+
+/**
+ * MiniC source for benchmark @p name. @p scale multiplies the filler
+ * pools (1 = default size, matching CINT95's *relative* sizes).
+ */
+std::string benchmarkSource(const std::string &name, int scale = 1);
+
+/** Compile benchmark @p name (with the runtime library linked). */
+Program buildBenchmark(const std::string &name, int scale = 1);
+
+/** @{ Individual source generators (one per CINT95 program). */
+std::string sourceCompress(int scale);
+std::string sourceGcc(int scale);
+std::string sourceGo(int scale);
+std::string sourceIjpeg(int scale);
+std::string sourceLi(int scale);
+std::string sourceM88ksim(int scale);
+std::string sourcePerl(int scale);
+std::string sourceVortex(int scale);
+/** @} */
+
+} // namespace codecomp::workloads
+
+#endif // CODECOMP_WORKLOADS_WORKLOADS_HH

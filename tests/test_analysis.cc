@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the static analyses behind the paper's characterization
+ * figures (Fig 1, Table 1, Table 3, Figs 6/7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hh"
+#include "codegen/codegen.hh"
+#include "compress/compressor.hh"
+#include "isa/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::analysis;
+
+namespace {
+
+TEST(Redundancy, HandComputedProfile)
+{
+    Program p;
+    isa::Word a = isa::encode(isa::addi(3, 3, 1));
+    isa::Word b = isa::encode(isa::addi(4, 4, 1));
+    isa::Word c = isa::encode(isa::blr());
+    // a x3, b x1, c x2
+    p.text = {a, b, a, c, a, c};
+    p.entryIndex = 0;
+    p.finalize();
+
+    RedundancyProfile profile = profileRedundancy(p);
+    EXPECT_EQ(profile.totalInsns, 6u);
+    EXPECT_EQ(profile.distinctEncodings, 3u);
+    EXPECT_EQ(profile.usedOnce, 1u);
+    EXPECT_EQ(profile.insnsFromRepeated, 5u);
+    EXPECT_DOUBLE_EQ(profile.fractionSingleUse(), 1.0 / 6.0);
+    EXPECT_DOUBLE_EQ(profile.fractionRepeated(), 5.0 / 6.0);
+    // Top 33% of 3 encodings: ceil(0.99) = 1 encoding: 3/6.
+    EXPECT_DOUBLE_EQ(profile.topEncodingCoverage(33), 0.5);
+    EXPECT_DOUBLE_EQ(profile.topEncodingCoverage(100), 1.0);
+}
+
+TEST(Redundancy, BenchmarksMatchPaperShape)
+{
+    // Paper Fig 1: on average < 20% of instructions have encodings used
+    // exactly once. Our SDTS output must reproduce that shape.
+    double total_single = 0;
+    for (const auto &name : workloads::benchmarkNames()) {
+        Program p = workloads::buildBenchmark(name);
+        RedundancyProfile profile = profileRedundancy(p);
+        EXPECT_LT(profile.fractionSingleUse(), 0.35) << name;
+        EXPECT_GT(profile.fractionRepeated(), 0.6) << name;
+        total_single += profile.fractionSingleUse();
+    }
+    EXPECT_LT(total_single / 8, 0.20);
+}
+
+TEST(BranchOffsets, HandComputed)
+{
+    // A bc with displacement field value d covers byte distance 4*d
+    // architecturally; at 2-byte granularity the field must hold 2*d.
+    Program p;
+    p.text.push_back(isa::encode(isa::bc(isa::Bo::Always, 0, 5000)));
+    for (int i = 0; i < 5000; ++i)
+        p.text.push_back(isa::encode(isa::nop()));
+    p.text.push_back(isa::encode(isa::blr()));
+    p.entryIndex = 0;
+    p.finalize();
+
+    BranchOffsetUsage usage = analyzeBranchOffsets(p);
+    EXPECT_EQ(usage.pcRelativeBranches, 1u);
+    // 5000 insns -> 20000 bytes. 14-bit field: +/-8191.
+    // 2-byte units: 10000 > 8191 -> lacks. 1-byte: 20000 -> lacks.
+    // 4-bit: 40000 -> lacks.
+    EXPECT_EQ(usage.lack2Byte, 1u);
+    EXPECT_EQ(usage.lack1Byte, 1u);
+    EXPECT_EQ(usage.lack4Bit, 1u);
+
+    Program q;
+    q.text.push_back(isa::encode(isa::bc(isa::Bo::Always, 0, 2)));
+    q.text.push_back(isa::encode(isa::nop()));
+    q.text.push_back(isa::encode(isa::blr()));
+    q.entryIndex = 0;
+    q.finalize();
+    usage = analyzeBranchOffsets(q);
+    EXPECT_EQ(usage.pcRelativeBranches, 1u);
+    EXPECT_EQ(usage.lack2Byte, 0u);
+    EXPECT_EQ(usage.lack4Bit, 0u);
+}
+
+TEST(BranchOffsets, ShapeAcrossSuite)
+{
+    // Table 1 shape: the share of branches lacking headroom grows as
+    // the granularity gets finer, and stays a small minority.
+    for (const auto &name : workloads::benchmarkNames()) {
+        Program p = workloads::buildBenchmark(name);
+        BranchOffsetUsage usage = analyzeBranchOffsets(p);
+        EXPECT_GT(usage.pcRelativeBranches, 100u) << name;
+        EXPECT_LE(usage.lack2Byte, usage.lack1Byte) << name;
+        EXPECT_LE(usage.lack1Byte, usage.lack4Bit) << name;
+        EXPECT_LT(static_cast<double>(usage.lack4Bit) /
+                      usage.pcRelativeBranches,
+                  0.25)
+            << name;
+    }
+}
+
+TEST(PrologueEpilogue, HandComputed)
+{
+    Program p = codegen::compile(R"(
+        int f(int x) { return x + 1; }
+        int main() { return f(1); }
+    )");
+    PrologueEpilogue stats = analyzePrologueEpilogue(p);
+    EXPECT_EQ(stats.totalInsns, p.text.size());
+    EXPECT_GT(stats.prologueInsns, 0u);
+    EXPECT_GT(stats.epilogueInsns, stats.prologueInsns); // + blr etc.
+}
+
+TEST(PrologueEpilogue, SuiteMatchesTable3Shape)
+{
+    // Paper Table 3: prologue ~4-8%, epilogue ~4-10% of static insns.
+    for (const auto &name : workloads::benchmarkNames()) {
+        Program p = workloads::buildBenchmark(name);
+        PrologueEpilogue stats = analyzePrologueEpilogue(p);
+        EXPECT_GT(stats.prologueFraction(), 0.01) << name;
+        EXPECT_LT(stats.prologueFraction(), 0.15) << name;
+        EXPECT_GT(stats.epilogueFraction(), 0.01) << name;
+        EXPECT_LT(stats.epilogueFraction(), 0.20) << name;
+    }
+}
+
+TEST(DictionaryUsage, ConsistentWithSelection)
+{
+    Program p = workloads::buildBenchmark("ijpeg");
+    compress::CompressorConfig config;
+    config.maxEntryLen = 8;
+    compress::CompressedImage image = compress::compressProgram(p, config);
+    DictionaryUsage usage = analyzeDictionaryUsage(image);
+
+    EXPECT_EQ(usage.totalEntries, image.entriesByRank.size());
+    uint32_t sum = 0;
+    for (const auto &[len, count] : usage.entriesByLength) {
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, 8u);
+        sum += count;
+    }
+    EXPECT_EQ(sum, usage.totalEntries);
+    EXPECT_GT(usage.totalBytesSaved, 0);
+    // Paper Fig 6: single-instruction entries are 48-80% of the
+    // dictionary; Fig 7: they contribute roughly half the savings.
+    double single_frac =
+        static_cast<double>(usage.entriesByLength.at(1)) /
+        usage.totalEntries;
+    EXPECT_GT(single_frac, 0.3);
+    double single_savings =
+        static_cast<double>(usage.bytesSavedByLength.at(1)) /
+        usage.totalBytesSaved;
+    EXPECT_GT(single_savings, 0.25);
+}
+
+} // namespace

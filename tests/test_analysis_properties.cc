@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Property tests over the static analyses: coverage monotonicity,
+ * count conservation, and cross-checks between independent analyses
+ * across the whole benchmark suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hh"
+#include "compress/compressor.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::analysis;
+
+namespace {
+
+class AnalysisProperties : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Program program_ = workloads::buildBenchmark(GetParam());
+};
+
+TEST_P(AnalysisProperties, RedundancyCountsConserve)
+{
+    RedundancyProfile profile = profileRedundancy(program_);
+    // Every instruction is either from a once-used encoding or a
+    // repeated one.
+    EXPECT_EQ(profile.usedOnce + profile.insnsFromRepeated,
+              profile.totalInsns);
+    EXPECT_EQ(profile.totalInsns, program_.text.size());
+    EXPECT_LE(profile.distinctEncodings, profile.totalInsns);
+    // countsDescending sums back to the program.
+    uint64_t sum = 0;
+    for (uint32_t count : profile.countsDescending)
+        sum += count;
+    EXPECT_EQ(sum, profile.totalInsns);
+    // And is actually sorted.
+    EXPECT_TRUE(std::is_sorted(profile.countsDescending.rbegin(),
+                               profile.countsDescending.rend()));
+}
+
+TEST_P(AnalysisProperties, CoverageMonotoneInPercent)
+{
+    RedundancyProfile profile = profileRedundancy(program_);
+    double prev = 0;
+    for (double pct : {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+        double coverage = profile.topEncodingCoverage(pct);
+        EXPECT_GE(coverage, prev) << "at " << pct << "%";
+        EXPECT_LE(coverage, 1.0 + 1e-12);
+        prev = coverage;
+    }
+    EXPECT_DOUBLE_EQ(profile.topEncodingCoverage(100), 1.0);
+}
+
+TEST_P(AnalysisProperties, PrologueEpilogueWithinFunctionBodies)
+{
+    PrologueEpilogue stats = analyzePrologueEpilogue(program_);
+    uint32_t body_insns = 0;
+    for (const FunctionSymbol &fn : program_.functions)
+        body_insns += fn.body.count;
+    // Functions tile .text, so the template instructions are a strict
+    // subset of the program.
+    EXPECT_EQ(body_insns, stats.totalInsns);
+    EXPECT_LT(stats.prologueInsns + stats.epilogueInsns,
+              stats.totalInsns);
+}
+
+TEST_P(AnalysisProperties, DictionarySavingsConsistentWithImageSize)
+{
+    compress::CompressorConfig config;
+    compress::CompressedImage image =
+        compress::compressProgram(program_, config);
+    DictionaryUsage usage = analyzeDictionaryUsage(image);
+
+    // Savings attributed per length sum to the total.
+    int64_t sum = 0;
+    for (const auto &[len, saved] : usage.bytesSavedByLength)
+        sum += saved;
+    EXPECT_EQ(sum, usage.totalBytesSaved);
+
+    // The analysis's total savings equals the size delta the image
+    // reports (both sides count the dictionary overhead).
+    int64_t size_delta =
+        static_cast<int64_t>(image.originalTextBytes) -
+        static_cast<int64_t>(image.totalBytes());
+    EXPECT_NEAR(static_cast<double>(usage.totalBytesSaved),
+                static_cast<double>(size_delta), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AnalysisProperties,
+                         ::testing::Values("compress", "gcc", "go", "ijpeg",
+                                           "li", "m88ksim", "perl",
+                                           "vortex"));
+
+} // namespace

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the comparator implementations: Huffman coding, LZW
+ * (compress(1)-style), CCRP, and Liao's call-dictionary methods.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/ccrp.hh"
+#include "baselines/huffman.hh"
+#include "baselines/liao.hh"
+#include "baselines/lzw.hh"
+#include "support/rng.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::baselines;
+
+namespace {
+
+std::vector<uint8_t>
+randomBytes(uint64_t seed, size_t n, unsigned alphabet)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> bytes(n);
+    for (auto &byte : bytes)
+        byte = static_cast<uint8_t>(rng.below(alphabet));
+    return bytes;
+}
+
+// ---------------- Huffman ----------------
+
+TEST(Huffman, RoundTripSkewedAlphabet)
+{
+    std::vector<uint8_t> data = randomBytes(5, 4096, 16);
+    HuffmanCode code = HuffmanCode::build(byteFrequencies(data));
+
+    BitWriter writer;
+    for (uint8_t byte : data)
+        code.encode(writer, byte);
+    EXPECT_EQ(writer.bitCount(), code.measure(data));
+
+    BitReader reader(writer.bytes().data(), writer.bitCount());
+    for (uint8_t byte : data)
+        ASSERT_EQ(code.decode(reader), byte);
+}
+
+TEST(Huffman, SingleSymbolDegenerate)
+{
+    std::array<uint64_t, 256> freq{};
+    freq['x'] = 100;
+    HuffmanCode code = HuffmanCode::build(freq);
+    EXPECT_EQ(code.length('x'), 1u);
+    BitWriter writer;
+    code.encode(writer, 'x');
+    code.encode(writer, 'x');
+    BitReader reader(writer.bytes().data(), writer.bitCount());
+    EXPECT_EQ(code.decode(reader), 'x');
+    EXPECT_EQ(code.decode(reader), 'x');
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes)
+{
+    std::array<uint64_t, 256> freq{};
+    freq[0] = 1000;
+    freq[1] = 100;
+    freq[2] = 10;
+    freq[3] = 1;
+    HuffmanCode code = HuffmanCode::build(freq);
+    EXPECT_LE(code.length(0), code.length(1));
+    EXPECT_LE(code.length(1), code.length(2));
+    EXPECT_LE(code.length(2), code.length(3));
+}
+
+TEST(Huffman, KraftInequalityHolds)
+{
+    std::vector<uint8_t> data = randomBytes(11, 20000, 256);
+    HuffmanCode code = HuffmanCode::build(byteFrequencies(data));
+    double kraft = 0;
+    for (unsigned s = 0; s < 256; ++s)
+        if (code.length(static_cast<uint8_t>(s)) > 0)
+            kraft += std::pow(
+                2.0, -double(code.length(static_cast<uint8_t>(s))));
+    EXPECT_NEAR(kraft, 1.0, 1e-9); // complete code
+}
+
+/** Property sweep: Huffman never beats entropy, never exceeds 8n. */
+class HuffmanProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(HuffmanProperty, BoundsAndRoundTrip)
+{
+    std::vector<uint8_t> data = randomBytes(GetParam(), 4096,
+                                            2 + GetParam() * 17 % 254);
+    HuffmanCode code = HuffmanCode::build(byteFrequencies(data));
+    auto freq = byteFrequencies(data);
+    double entropy_bits = 0;
+    for (unsigned s = 0; s < 256; ++s) {
+        if (freq[s] == 0)
+            continue;
+        double p = static_cast<double>(freq[s]) / data.size();
+        entropy_bits += freq[s] * -std::log2(p);
+    }
+    uint64_t coded = code.measure(data);
+    EXPECT_GE(static_cast<double>(coded), entropy_bits - 1e-6);
+    EXPECT_LE(coded, data.size() * 8 + 256);
+
+    BitWriter writer;
+    for (uint8_t byte : data)
+        code.encode(writer, byte);
+    BitReader reader(writer.bytes().data(), writer.bitCount());
+    for (uint8_t byte : data)
+        ASSERT_EQ(code.decode(reader), byte);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------- LZW ----------------
+
+TEST(Lzw, RoundTripEmpty)
+{
+    std::vector<uint8_t> empty;
+    EXPECT_EQ(lzwDecompress(lzwCompress(empty)), empty);
+}
+
+TEST(Lzw, RoundTripTiny)
+{
+    std::vector<uint8_t> one = {42};
+    EXPECT_EQ(lzwDecompress(lzwCompress(one)), one);
+    std::vector<uint8_t> two = {1, 1};
+    EXPECT_EQ(lzwDecompress(lzwCompress(two)), two);
+}
+
+TEST(Lzw, RoundTripKwKwK)
+{
+    // The classic corner case: aaaa... forces the code-defined-but-
+    // not-yet-materialized path.
+    std::vector<uint8_t> data(100, 'a');
+    EXPECT_EQ(lzwDecompress(lzwCompress(data)), data);
+}
+
+TEST(Lzw, CompressesRepetitiveData)
+{
+    std::vector<uint8_t> data;
+    for (int i = 0; i < 1000; ++i)
+        for (uint8_t byte : {1, 2, 3, 4, 5, 6, 7, 8})
+            data.push_back(byte);
+    std::vector<uint8_t> compressed = lzwCompress(data);
+    EXPECT_LT(compressed.size(), data.size() / 4);
+    EXPECT_EQ(lzwDecompress(compressed), data);
+}
+
+class LzwProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(LzwProperty, RoundTripRandom)
+{
+    // Vary alphabet size and length; crossing the 9->10->11 bit
+    // width boundaries matters (4096+ entries needs length >> 4096).
+    std::vector<uint8_t> data = randomBytes(
+        GetParam(), 2000 + GetParam() * 7919, 2 + (GetParam() * 31) % 254);
+    EXPECT_EQ(lzwDecompress(lzwCompress(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzwProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Lzw, RoundTripRealProgram)
+{
+    Program p = workloads::buildBenchmark("compress");
+    std::vector<uint8_t> bytes;
+    for (isa::Word w : p.text) {
+        bytes.push_back(static_cast<uint8_t>(w >> 24));
+        bytes.push_back(static_cast<uint8_t>(w >> 16));
+        bytes.push_back(static_cast<uint8_t>(w >> 8));
+        bytes.push_back(static_cast<uint8_t>(w));
+    }
+    std::vector<uint8_t> compressed = lzwCompress(bytes);
+    EXPECT_LT(compressed.size(), bytes.size());
+    EXPECT_EQ(lzwDecompress(compressed), bytes);
+}
+
+// ---------------- CCRP ----------------
+
+TEST(Ccrp, CompressesAndAccountsOverheads)
+{
+    Program p = workloads::buildBenchmark("ijpeg");
+    CcrpResult result = ccrpCompress(p);
+    EXPECT_EQ(result.originalBytes, p.textBytes());
+    EXPECT_LT(result.compressionRatio(), 1.0);
+    EXPECT_GT(result.compressedLineBytes, 0u);
+    size_t lines = (result.originalBytes + 31) / 32;
+    EXPECT_EQ(result.latBytes, lines * 4);
+    EXPECT_EQ(result.tableBytes, 256u);
+}
+
+TEST(Ccrp, LargerLinesCompressBetter)
+{
+    // Byte-rounding overhead amortizes over longer lines.
+    Program p = workloads::buildBenchmark("li");
+    CcrpResult small = ccrpCompress(p, 16);
+    CcrpResult big = ccrpCompress(p, 64);
+    EXPECT_LT(big.compressionRatio(), small.compressionRatio());
+}
+
+// ---------------- Liao ----------------
+
+TEST(Liao, HardwareMethodCompresses)
+{
+    Program p = workloads::buildBenchmark("li");
+    LiaoConfig config;
+    LiaoResult result = liaoCompress(p, config);
+    EXPECT_LT(result.compressionRatio(), 1.0);
+    EXPECT_GT(result.entries, 0u);
+    EXPECT_GT(result.replacements, result.entries);
+}
+
+TEST(Liao, TwoWordCodewordsRequireLongerEntries)
+{
+    Program p = workloads::buildBenchmark("li");
+    LiaoConfig one;
+    LiaoConfig two;
+    two.codewordWords = 2;
+    LiaoResult r1 = liaoCompress(p, one);
+    LiaoResult r2 = liaoCompress(p, two);
+    // Wider codewords compress strictly worse here: they exclude the
+    // short sequences that dominate (the paper's criticism of Liao).
+    EXPECT_LT(r1.compressionRatio(), r2.compressionRatio());
+}
+
+TEST(Liao, SoftwareMethodHasCallOverhead)
+{
+    Program p = workloads::buildBenchmark("li");
+    LiaoConfig hw;
+    LiaoConfig sw;
+    sw.softwareMethod = true;
+    LiaoResult rh = liaoCompress(p, hw);
+    LiaoResult rs = liaoCompress(p, sw);
+    EXPECT_LT(rs.compressionRatio(), 1.0);
+    // The software method pays an extra return instruction per entry;
+    // with the same codeword size it cannot beat call-dictionary.
+    EXPECT_LE(rh.compressionRatio(), rs.compressionRatio());
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the I-cache model and the fetch-hook plumbing of both
+ * processors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/icache.hh"
+#include "compress/compressor.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::cache;
+
+namespace {
+
+TEST(ICache, ColdMissesThenHits)
+{
+    ICache cache({256, 32, 1});
+    cache.access(0, 4);
+    cache.access(4, 4);
+    cache.access(28, 4);
+    EXPECT_EQ(cache.stats().accesses, 3u);
+    EXPECT_EQ(cache.stats().misses, 1u); // one line, one cold miss
+    cache.access(32, 4);                 // next line
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ICache, DirectMappedConflict)
+{
+    // 256B direct-mapped, 32B lines -> 8 sets; addresses 0 and 256
+    // collide.
+    ICache cache({256, 32, 1});
+    cache.access(0, 4);
+    cache.access(256, 4);
+    cache.access(0, 4);
+    EXPECT_EQ(cache.stats().misses, 3u); // ping-pong
+}
+
+TEST(ICache, TwoWayAssociativityAbsorbsConflict)
+{
+    ICache cache({256, 32, 2});
+    cache.access(0, 4);
+    cache.access(256, 4);
+    cache.access(0, 4);
+    cache.access(256, 4);
+    EXPECT_EQ(cache.stats().misses, 2u); // both fit in the set
+}
+
+TEST(ICache, LruEvictsOldest)
+{
+    // 2-way, 1 set per way pair at these addresses: fill both ways,
+    // then a third line evicts the least recently used.
+    ICache cache({64, 32, 2}); // 1 set, 2 ways
+    cache.access(0, 4);    // miss, way0
+    cache.access(32, 4);   // miss, way1
+    cache.access(0, 4);    // hit (refreshes 0)
+    cache.access(64, 4);   // miss, evicts 32
+    cache.access(0, 4);    // hit
+    cache.access(32, 4);   // miss again
+    EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(ICache, StraddlingAccessTouchesBothLines)
+{
+    ICache cache({256, 32, 1});
+    cache.access(30, 4); // spans lines 0 and 1
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    cache.access(30, 4);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ICache, ResetClearsEverything)
+{
+    ICache cache({256, 32, 1});
+    cache.access(0, 4);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    cache.access(0, 4);
+    EXPECT_EQ(cache.stats().misses, 1u); // cold again
+}
+
+TEST(ICache, RejectsBadGeometry)
+{
+    EXPECT_DEATH(ICache({100, 32, 1}), "sets");
+    EXPECT_DEATH(ICache({256, 24, 1}), "power of two");
+}
+
+TEST(FetchHooks, NativeFetchCountMatchesInstCount)
+{
+    Program p = workloads::buildBenchmark("compress");
+    uint64_t fetches = 0;
+    Cpu cpu(p);
+    cpu.setFetchHook([&fetches](uint32_t, uint32_t bytes) {
+        EXPECT_EQ(bytes, 4u);
+        ++fetches;
+    });
+    ExecResult r = cpu.run();
+    EXPECT_EQ(fetches, r.instCount);
+}
+
+TEST(FetchHooks, CompressedFetchesAreSmallerAndFewerBytes)
+{
+    Program p = workloads::buildBenchmark("compress");
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+    config.maxEntries = 4680;
+    compress::CompressedImage image = compress::compressProgram(p, config);
+
+    uint64_t native_bytes = 0;
+    Cpu cpu(p);
+    cpu.setFetchHook([&native_bytes](uint32_t, uint32_t bytes) {
+        native_bytes += bytes;
+    });
+    cpu.run();
+
+    uint64_t compressed_bytes = 0;
+    CompressedCpu ccpu(image);
+    ccpu.setFetchHook([&compressed_bytes](uint32_t, uint32_t bytes) {
+        compressed_bytes += bytes;
+    });
+    ccpu.run();
+
+    // The compressed fetch stream moves strictly fewer bytes for the
+    // same execution (the bandwidth argument of the paper's intro).
+    EXPECT_LT(compressed_bytes, native_bytes);
+}
+
+TEST(FetchHooks, CompressedCodeMissesLessInSmallCache)
+{
+    Program p = workloads::buildBenchmark("go");
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+    config.maxEntries = 4680;
+    compress::CompressedImage image = compress::compressProgram(p, config);
+
+    CacheConfig geometry{2048, 32, 1};
+    ICache native(geometry);
+    Cpu cpu(p);
+    cpu.setFetchHook([&native](uint32_t addr, uint32_t bytes) {
+        native.access(addr, bytes);
+    });
+    cpu.run();
+
+    ICache compressed(geometry);
+    CompressedCpu ccpu(image);
+    ccpu.setFetchHook([&compressed](uint32_t addr, uint32_t bytes) {
+        compressed.access(addr, bytes);
+    });
+    ccpu.run();
+
+    EXPECT_LT(compressed.stats().missRate(), native.stats().missRate());
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Disassembler coverage: every ppclite operation renders with its
+ * expected mnemonic and operand format, including the simplified
+ * mnemonics (li/lis/mr/nop/slwi/srwi/clrlwi) and branch targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+
+namespace isa = codecomp::isa;
+
+namespace {
+
+TEST(Disasm, ImmediateForms)
+{
+    EXPECT_EQ(isa::disassemble(isa::addi(1, 2, -3)), "addi r1,r2,-3");
+    EXPECT_EQ(isa::disassemble(isa::li(31, -32768)), "li r31,-32768");
+    EXPECT_EQ(isa::disassemble(isa::lis(4, 100)), "lis r4,100");
+    EXPECT_EQ(isa::disassemble(isa::addis(4, 5, 100)), "addis r4,r5,100");
+    EXPECT_EQ(isa::disassemble(isa::mulli(6, 7, 12)), "mulli r6,r7,12");
+    EXPECT_EQ(isa::disassemble(isa::ori(8, 9, 255)), "ori r8,r9,255");
+    EXPECT_EQ(isa::disassemble(isa::oris(8, 9, 255)), "oris r8,r9,255");
+    EXPECT_EQ(isa::disassemble(isa::xori(1, 1, 1)), "xori r1,r1,1");
+    EXPECT_EQ(isa::disassemble(isa::andi(2, 3, 15)), "andi. r2,r3,15");
+}
+
+TEST(Disasm, MemoryForms)
+{
+    EXPECT_EQ(isa::disassemble(isa::lwz(3, -8, 1)), "lwz r3,-8(r1)");
+    EXPECT_EQ(isa::disassemble(isa::lhz(4, 2, 5)), "lhz r4,2(r5)");
+    EXPECT_EQ(isa::disassemble(isa::stw(6, 0, 7)), "stw r6,0(r7)");
+    EXPECT_EQ(isa::disassemble(isa::sth(8, 4, 9)), "sth r8,4(r9)");
+    EXPECT_EQ(isa::disassemble(isa::stb(10, 6, 11)), "stb r10,6(r11)");
+    EXPECT_EQ(isa::disassemble(isa::lwzx(1, 2, 3)), "lwzx r1,r2,r3");
+}
+
+TEST(Disasm, RegisterForms)
+{
+    EXPECT_EQ(isa::disassemble(isa::add(1, 2, 3)), "add r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::subf(4, 5, 6)), "subf r4,r5,r6");
+    EXPECT_EQ(isa::disassemble(isa::neg(7, 8)), "neg r7,r8");
+    EXPECT_EQ(isa::disassemble(isa::mullw(9, 10, 11)), "mullw r9,r10,r11");
+    EXPECT_EQ(isa::disassemble(isa::divw(1, 2, 3)), "divw r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::and_(1, 2, 3)), "and r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::or_(1, 2, 3)), "or r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::xor_(1, 2, 3)), "xor r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::slw(1, 2, 3)), "slw r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::srw(1, 2, 3)), "srw r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::sraw(1, 2, 3)), "sraw r1,r2,r3");
+    EXPECT_EQ(isa::disassemble(isa::srawi(4, 5, 6)), "srawi r4,r5,6");
+}
+
+TEST(Disasm, Compares)
+{
+    EXPECT_EQ(isa::disassemble(isa::cmp(0, 1, 2)), "cmpw cr0,r1,r2");
+    EXPECT_EQ(isa::disassemble(isa::cmpl(5, 6, 7)), "cmplw cr5,r6,r7");
+    EXPECT_EQ(isa::disassemble(isa::cmpi(2, 3, -4)), "cmpwi cr2,r3,-4");
+    EXPECT_EQ(isa::disassemble(isa::cmpli(3, 4, 5)), "cmplwi cr3,r4,5");
+}
+
+TEST(Disasm, SimplifiedRotates)
+{
+    EXPECT_EQ(isa::disassemble(isa::slwi(1, 2, 3)), "slwi r1,r2,3");
+    EXPECT_EQ(isa::disassemble(isa::srwi(4, 5, 6)), "srwi r4,r5,6");
+    EXPECT_EQ(isa::disassemble(isa::clrlwi(7, 8, 9)), "clrlwi r7,r8,9");
+    EXPECT_EQ(isa::disassemble(isa::rlwinm(1, 2, 3, 4, 5)),
+              "rlwinm r1,r2,3,4,5");
+}
+
+TEST(Disasm, BranchesWithoutPc)
+{
+    EXPECT_EQ(isa::disassemble(isa::b(3)), "b .+12");
+    EXPECT_EQ(isa::disassemble(isa::b(-3)), "b .-12");
+    EXPECT_EQ(isa::disassemble(isa::bl(1)), "bl .+4");
+    EXPECT_EQ(isa::disassemble(
+                  isa::bc(isa::Bo::IfTrue, isa::crBit(2, isa::CrBit::Lt),
+                          5)),
+              "blt cr2,.+20");
+    EXPECT_EQ(isa::disassemble(
+                  isa::bc(isa::Bo::IfFalse, isa::crBit(0, isa::CrBit::Eq),
+                          -1)),
+              "bne cr0,.-4");
+    EXPECT_EQ(isa::disassemble(isa::bc(isa::Bo::DecNz, 0, 2)),
+              "bdnz .+8");
+}
+
+TEST(Disasm, ConditionSuffixes)
+{
+    using isa::Bo;
+    using isa::CrBit;
+    auto render = [](Bo bo, CrBit bit) {
+        return isa::disassemble(isa::bc(bo, isa::crBit(1, bit), 1));
+    };
+    EXPECT_EQ(render(Bo::IfTrue, CrBit::Lt), "blt cr1,.+4");
+    EXPECT_EQ(render(Bo::IfFalse, CrBit::Lt), "bge cr1,.+4");
+    EXPECT_EQ(render(Bo::IfTrue, CrBit::Gt), "bgt cr1,.+4");
+    EXPECT_EQ(render(Bo::IfFalse, CrBit::Gt), "ble cr1,.+4");
+    EXPECT_EQ(render(Bo::IfTrue, CrBit::Eq), "beq cr1,.+4");
+    EXPECT_EQ(render(Bo::IfFalse, CrBit::Eq), "bne cr1,.+4");
+}
+
+TEST(Disasm, IndirectBranches)
+{
+    EXPECT_EQ(isa::disassemble(isa::blr()), "blr");
+    EXPECT_EQ(isa::disassemble(isa::bctr()), "bctr");
+    EXPECT_EQ(isa::disassemble(isa::bctrl()), "bctrl");
+    EXPECT_EQ(isa::disassemble(
+                  isa::bclr(isa::Bo::IfTrue,
+                            isa::crBit(2, isa::CrBit::Eq))),
+              "beqlr cr2");
+}
+
+TEST(Disasm, SprMovesAndMisc)
+{
+    EXPECT_EQ(isa::disassemble(isa::mtlr(0)), "mtlr r0");
+    EXPECT_EQ(isa::disassemble(isa::mflr(31)), "mflr r31");
+    EXPECT_EQ(isa::disassemble(isa::mtctr(5)), "mtctr r5");
+    EXPECT_EQ(isa::disassemble(isa::mfctr(6)), "mfctr r6");
+    EXPECT_EQ(isa::disassemble(isa::sc()), "sc");
+    EXPECT_EQ(isa::disassemble(isa::nop()), "nop");
+    EXPECT_EQ(isa::disassemble(isa::mr(1, 2)), "mr r1,r2");
+}
+
+TEST(Disasm, IllegalWordsRenderAsData)
+{
+    isa::Inst inst = isa::decode(0x00000000);
+    EXPECT_EQ(isa::disassemble(inst), ".word 0x00000000");
+    EXPECT_EQ(isa::disassembleWord(0x0badf00d), ".word 0x0badf00d");
+}
+
+TEST(Disasm, EveryLegalOpHasDistinctText)
+{
+    // A weak injectivity check: distinct operations never render to the
+    // same string for the same operands.
+    std::vector<std::string> seen;
+    for (isa::Inst inst :
+         {isa::add(1, 2, 3), isa::subf(1, 2, 3), isa::mullw(1, 2, 3),
+          isa::divw(1, 2, 3), isa::and_(1, 2, 3), isa::xor_(1, 2, 3),
+          isa::slw(1, 2, 3), isa::srw(1, 2, 3), isa::sraw(1, 2, 3),
+          isa::lwzx(1, 2, 3)}) {
+        std::string text = isa::disassemble(inst);
+        EXPECT_EQ(std::count(seen.begin(), seen.end(), text), 0) << text;
+        seen.push_back(text);
+    }
+}
+
+} // namespace

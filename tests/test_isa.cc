@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit and property tests for the ppclite ISA: encode/decode round
+ * trips, field ranges, branch classification, and the illegal-opcode
+ * space the baseline compression scheme depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+#include "support/rng.hh"
+
+namespace isa = codecomp::isa;
+using codecomp::Rng;
+
+namespace {
+
+void
+expectRoundTrip(const isa::Inst &inst)
+{
+    isa::Word word = isa::encode(inst);
+    isa::Inst back = isa::decode(word);
+    EXPECT_EQ(back, inst) << isa::disassemble(inst) << " vs "
+                          << isa::disassemble(back);
+    // And the re-encoding is bit-identical.
+    EXPECT_EQ(isa::encode(back), word);
+}
+
+TEST(IsaEncode, DFormRoundTrip)
+{
+    expectRoundTrip(isa::addi(3, 4, -32768));
+    expectRoundTrip(isa::addi(3, 4, 32767));
+    expectRoundTrip(isa::addis(31, 0, -1));
+    expectRoundTrip(isa::mulli(7, 8, 1234));
+    expectRoundTrip(isa::ori(0, 0, 0));
+    expectRoundTrip(isa::ori(12, 13, 0xffff));
+    expectRoundTrip(isa::oris(1, 2, 0x8000));
+    expectRoundTrip(isa::xori(5, 6, 0x1234));
+    expectRoundTrip(isa::andi(9, 10, 0xff));
+    expectRoundTrip(isa::lwz(3, -4, 1));
+    expectRoundTrip(isa::lbz(9, 0, 28));
+    expectRoundTrip(isa::lhz(4, 22, 5));
+    expectRoundTrip(isa::stw(18, 0, 28));
+    expectRoundTrip(isa::stb(18, 127, 28));
+    expectRoundTrip(isa::sth(2, -2, 3));
+}
+
+TEST(IsaEncode, CompareRoundTrip)
+{
+    expectRoundTrip(isa::cmpi(1, 0, 8));
+    expectRoundTrip(isa::cmpi(7, 31, -1));
+    expectRoundTrip(isa::cmpli(1, 11, 7));
+    expectRoundTrip(isa::cmpli(0, 4, 0xffff));
+    expectRoundTrip(isa::cmp(0, 3, 4));
+    expectRoundTrip(isa::cmpl(6, 30, 29));
+}
+
+TEST(IsaEncode, BranchRoundTrip)
+{
+    expectRoundTrip(isa::b(0));
+    expectRoundTrip(isa::b(-(1 << 23)));
+    expectRoundTrip(isa::b((1 << 23) - 1));
+    expectRoundTrip(isa::bl(42));
+    expectRoundTrip(isa::bc(isa::Bo::IfTrue, 5, -8192));
+    expectRoundTrip(isa::bc(isa::Bo::IfFalse, 6, 8191));
+    expectRoundTrip(isa::bc(isa::Bo::DecNz, 0, -1));
+    expectRoundTrip(isa::blr());
+    expectRoundTrip(isa::bctr());
+    expectRoundTrip(isa::bctrl());
+    expectRoundTrip(isa::bclr(isa::Bo::IfTrue, 2));
+}
+
+TEST(IsaEncode, XFormRoundTrip)
+{
+    expectRoundTrip(isa::add(3, 4, 5));
+    expectRoundTrip(isa::subf(0, 31, 1));
+    expectRoundTrip(isa::neg(7, 7));
+    expectRoundTrip(isa::mullw(10, 11, 12));
+    expectRoundTrip(isa::divw(1, 2, 3));
+    expectRoundTrip(isa::and_(4, 5, 6));
+    expectRoundTrip(isa::or_(7, 8, 9));
+    expectRoundTrip(isa::mr(7, 8));
+    expectRoundTrip(isa::xor_(10, 11, 12));
+    expectRoundTrip(isa::slw(13, 14, 15));
+    expectRoundTrip(isa::srw(16, 17, 18));
+    expectRoundTrip(isa::sraw(19, 20, 21));
+    expectRoundTrip(isa::lwzx(22, 23, 24));
+}
+
+TEST(IsaEncode, MiscRoundTrip)
+{
+    expectRoundTrip(isa::rlwinm(9, 11, 0, 24, 31));
+    expectRoundTrip(isa::slwi(3, 4, 2));
+    expectRoundTrip(isa::srwi(5, 6, 31));
+    expectRoundTrip(isa::clrlwi(11, 9, 24));
+    expectRoundTrip(isa::mtlr(0));
+    expectRoundTrip(isa::mflr(31));
+    expectRoundTrip(isa::mtctr(13));
+    expectRoundTrip(isa::mfctr(2));
+    expectRoundTrip(isa::sc());
+    expectRoundTrip(isa::nop());
+}
+
+TEST(IsaDecode, IllegalOpcodesDecodeAsIllegal)
+{
+    for (uint8_t primop : isa::illegalPrimOps) {
+        isa::Word word = static_cast<uint32_t>(primop) << 26 | 0x12345u;
+        isa::Inst inst = isa::decode(word);
+        EXPECT_EQ(inst.op, isa::Op::Illegal);
+        EXPECT_EQ(inst.raw, word);
+        // Illegal instructions re-encode to the identical word.
+        EXPECT_EQ(isa::encode(inst), word);
+    }
+}
+
+TEST(IsaDecode, ExactlyEightIllegalPrimOps)
+{
+    // The baseline scheme needs exactly 8 illegal opcodes -> 32 escape
+    // bytes -> up to 8192 2-byte codewords (paper section 4.1).
+    EXPECT_EQ(isa::illegalPrimOps.size(), 8u);
+    int count = 0;
+    for (unsigned op = 0; op < 64; ++op)
+        if (isa::isIllegalPrimOp(static_cast<uint8_t>(op)))
+            ++count;
+    EXPECT_EQ(count, 8);
+}
+
+TEST(IsaDecode, PrimOpOfExtractsHighSixBits)
+{
+    EXPECT_EQ(isa::primOpOf(0xfc000000u), 63u);
+    EXPECT_EQ(isa::primOpOf(0x00000000u), 0u);
+    EXPECT_EQ(isa::primOpOf(isa::encode(isa::addi(1, 2, 3))), 14u);
+}
+
+TEST(IsaClassify, BranchPredicates)
+{
+    EXPECT_TRUE(isa::b(4).isRelativeBranch());
+    EXPECT_TRUE(isa::bc(isa::Bo::IfTrue, 0, 4).isRelativeBranch());
+    EXPECT_FALSE(isa::blr().isRelativeBranch());
+    EXPECT_TRUE(isa::blr().isIndirectBranch());
+    EXPECT_TRUE(isa::bctr().isIndirectBranch());
+    EXPECT_TRUE(isa::bl(4).isCall());
+    EXPECT_TRUE(isa::bctrl().isCall());
+    EXPECT_FALSE(isa::bctr().isCall());
+    EXPECT_FALSE(isa::addi(1, 1, 1).isBranch());
+}
+
+TEST(IsaHelpers, SignExtendAndFits)
+{
+    EXPECT_EQ(isa::signExtend(0xffff, 16), -1);
+    EXPECT_EQ(isa::signExtend(0x7fff, 16), 32767);
+    EXPECT_EQ(isa::signExtend(0x8000, 16), -32768);
+    EXPECT_TRUE(isa::fitsSigned(-8192, 14));
+    EXPECT_FALSE(isa::fitsSigned(8192, 14));
+    EXPECT_TRUE(isa::fitsSigned(8191, 14));
+}
+
+/** Property sweep: decode(encode(random legal inst)) == inst. */
+class IsaRoundTripProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(IsaRoundTripProperty, RandomInstructions)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint8_t rt = static_cast<uint8_t>(rng.below(32));
+        uint8_t ra = static_cast<uint8_t>(rng.below(32));
+        uint8_t rb = static_cast<uint8_t>(rng.below(32));
+        int32_t simm = static_cast<int32_t>(rng.range(-32768, 32767));
+        int32_t uimm = static_cast<int32_t>(rng.below(65536));
+        switch (rng.below(12)) {
+          case 0:
+            expectRoundTrip(isa::addi(rt, ra, simm));
+            break;
+          case 1:
+            expectRoundTrip(isa::ori(rt, ra, uimm));
+            break;
+          case 2:
+            expectRoundTrip(isa::lwz(rt, simm, ra));
+            break;
+          case 3:
+            expectRoundTrip(isa::stw(rt, simm, ra));
+            break;
+          case 4:
+            expectRoundTrip(isa::add(rt, ra, rb));
+            break;
+          case 5:
+            expectRoundTrip(isa::cmpi(static_cast<uint8_t>(rng.below(8)),
+                                      ra, simm));
+            break;
+          case 6:
+            expectRoundTrip(
+                isa::b(static_cast<int32_t>(rng.range(-(1 << 23),
+                                                      (1 << 23) - 1))));
+            break;
+          case 7:
+            expectRoundTrip(
+                isa::bc(isa::Bo::IfTrue,
+                        static_cast<uint8_t>(rng.below(32)),
+                        static_cast<int32_t>(rng.range(-8192, 8191))));
+            break;
+          case 8:
+            expectRoundTrip(isa::rlwinm(
+                ra, rt, static_cast<uint8_t>(rng.below(32)),
+                static_cast<uint8_t>(rng.below(32)),
+                static_cast<uint8_t>(rng.below(32))));
+            break;
+          case 9:
+            expectRoundTrip(isa::mullw(rt, ra, rb));
+            break;
+          case 10:
+            expectRoundTrip(isa::cmpl(static_cast<uint8_t>(rng.below(8)),
+                                      ra, rb));
+            break;
+          default:
+            expectRoundTrip(isa::lwzx(rt, ra, rb));
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 42, 0xdeadbeef));
+
+TEST(IsaDisasm, KnownForms)
+{
+    EXPECT_EQ(isa::disassemble(isa::li(9, 5)), "li r9,5");
+    EXPECT_EQ(isa::disassemble(isa::addi(0, 11, 1)), "addi r0,r11,1");
+    EXPECT_EQ(isa::disassemble(isa::lbz(9, 0, 28)), "lbz r9,0(r28)");
+    EXPECT_EQ(isa::disassemble(isa::clrlwi(11, 9, 24)), "clrlwi r11,r9,24");
+    EXPECT_EQ(isa::disassemble(isa::cmpli(1, 0, 8)), "cmplwi cr1,r0,8");
+    EXPECT_EQ(isa::disassemble(isa::blr()), "blr");
+    EXPECT_EQ(isa::disassemble(isa::sc()), "sc");
+    EXPECT_EQ(isa::disassemble(isa::nop()), "nop");
+    EXPECT_EQ(isa::disassemble(isa::mr(3, 5)), "mr r3,r5");
+    // A branch with a pc renders an absolute target.
+    EXPECT_EQ(isa::disassemble(isa::b(4), 0x10000), "b 0x00010010");
+    EXPECT_EQ(isa::disassemble(isa::bc(isa::Bo::IfTrue, 6, -4), 0x10020),
+              "beq cr1,0x00010010");
+}
+
+} // namespace

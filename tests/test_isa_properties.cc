@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ISA totality and idempotence properties over random 32-bit words:
+ * decode never faults, re-encoding a decoded word reproduces the
+ * decoded form (decode-encode idempotence), and legality is stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/inst.hh"
+#include "support/rng.hh"
+
+namespace isa = codecomp::isa;
+using codecomp::Rng;
+
+namespace {
+
+class IsaTotality : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(IsaTotality, DecodeIsTotalAndIdempotent)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 20000; ++iter) {
+        isa::Word word = static_cast<isa::Word>(rng.next());
+        isa::Inst first = isa::decode(word); // must never fault
+        // Encoding what we decoded, then decoding again, is a fixpoint:
+        // non-canonical reserved bits may be dropped once, never twice.
+        isa::Word reencoded = isa::encode(first);
+        isa::Inst second = isa::decode(reencoded);
+        EXPECT_EQ(second, first) << "word 0x" << std::hex << word;
+        EXPECT_EQ(isa::encode(second), reencoded);
+        // Illegal words must round-trip bit-exactly.
+        if (first.op == isa::Op::Illegal) {
+            EXPECT_EQ(reencoded, word);
+        }
+        // Disassembly is total as well.
+        EXPECT_FALSE(isa::disassemble(first).empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaTotality,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(IsaTotality, AllPrimaryOpcodesClassified)
+{
+    // Every 6-bit primary opcode decodes to something; the eight
+    // illegal ones always produce Op::Illegal regardless of low bits.
+    Rng rng(5);
+    for (unsigned primop = 0; primop < 64; ++primop) {
+        for (int trial = 0; trial < 50; ++trial) {
+            isa::Word word =
+                (static_cast<isa::Word>(primop) << 26) |
+                (static_cast<isa::Word>(rng.next()) & 0x03ffffff);
+            isa::Inst inst = isa::decode(word);
+            if (isa::isIllegalPrimOp(static_cast<uint8_t>(primop))) {
+                EXPECT_EQ(inst.op, isa::Op::Illegal);
+            }
+        }
+    }
+}
+
+TEST(IsaTotality, LegalGeneratedCodeNeverUsesEscapeSpace)
+{
+    // The compile-time invariant behind the baseline scheme: nothing
+    // the emitter can produce starts with an illegal primary opcode.
+    // (Checked over every encode() path via random decoded forms.)
+    Rng rng(6);
+    int checked = 0;
+    for (int iter = 0; iter < 20000; ++iter) {
+        isa::Word word = static_cast<isa::Word>(rng.next());
+        isa::Inst inst = isa::decode(word);
+        if (inst.op == isa::Op::Illegal)
+            continue;
+        ++checked;
+        EXPECT_FALSE(
+            isa::isIllegalPrimOp(isa::primOpOf(isa::encode(inst))));
+    }
+    EXPECT_GT(checked, 1000);
+}
+
+} // namespace

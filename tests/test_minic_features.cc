@@ -1,0 +1,301 @@
+/**
+ * @file
+ * MiniC language-feature tests beyond the basics: literals, comments,
+ * operator precedence and associativity, scoping rules, control-flow
+ * corners, and the standardized-frames compile option.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hh"
+#include "decompress/cpu.hh"
+
+using namespace codecomp;
+
+namespace {
+
+ExecResult
+run(const std::string &source)
+{
+    return runProgram(codegen::compile(source), 1ull << 26);
+}
+
+int32_t
+evalExpr(const std::string &expr)
+{
+    return run("int main() { return " + expr + "; }").exitCode;
+}
+
+TEST(MiniCFeatures, HexAndCharLiterals)
+{
+    EXPECT_EQ(evalExpr("0x10"), 16);
+    EXPECT_EQ(evalExpr("0xFF & 0x0f"), 15);
+    EXPECT_EQ(evalExpr("'A'"), 65);
+    EXPECT_EQ(evalExpr("'\\n'"), 10);
+    EXPECT_EQ(evalExpr("'\\t'"), 9);
+    EXPECT_EQ(evalExpr("'\\\\'"), 92);
+    EXPECT_EQ(evalExpr("'\\0'"), 0);
+}
+
+TEST(MiniCFeatures, Comments)
+{
+    EXPECT_EQ(run(R"(
+        // line comment with symbols: {}[]()+-*/
+        int main() {
+            /* block
+               comment */
+            return 5; // trailing
+        }
+    )").exitCode, 5);
+}
+
+TEST(MiniCFeatures, PrecedenceAndAssociativity)
+{
+    EXPECT_EQ(evalExpr("2 + 3 * 4"), 14);
+    EXPECT_EQ(evalExpr("(2 + 3) * 4"), 20);
+    EXPECT_EQ(evalExpr("20 - 8 - 4"), 8);         // left assoc
+    EXPECT_EQ(evalExpr("64 / 8 / 2"), 4);          // left assoc
+    EXPECT_EQ(evalExpr("1 << 3 + 1"), 16);         // shift below add
+    EXPECT_EQ(evalExpr("7 & 3 | 4"), 7);           // & above |
+    EXPECT_EQ(evalExpr("1 | 2 ^ 2"), 1);           // ^ above |
+    EXPECT_EQ(evalExpr("5 & 1 == 1"), 1);          // == above &
+    EXPECT_EQ(evalExpr("1 + 2 < 4 && 9 > 8"), 1);  // rel above &&
+    EXPECT_EQ(evalExpr("0 && 0 || 1"), 1);         // && above ||
+    EXPECT_EQ(evalExpr("-3 + 1"), -2);
+    EXPECT_EQ(evalExpr("!!7"), 1);
+    EXPECT_EQ(evalExpr("- -5"), 5);
+}
+
+TEST(MiniCFeatures, ModuloSemanticsMatchC)
+{
+    EXPECT_EQ(evalExpr("7 % 3"), 1);
+    EXPECT_EQ(evalExpr("-7 % 3"), -1);
+    EXPECT_EQ(evalExpr("7 % -3"), 1);
+    EXPECT_EQ(evalExpr("-7 % -3"), -1);
+}
+
+TEST(MiniCFeatures, Overflow32BitWraps)
+{
+    EXPECT_EQ(evalExpr("0x7fffffff + 1"),
+              static_cast<int32_t>(0x80000000u));
+    EXPECT_EQ(evalExpr("0x40000000 * 4"), 0);
+    EXPECT_EQ(run(R"(
+        int main() {
+            int x = 0x7fffffff;
+            x = x + x;
+            return x == -2;
+        }
+    )").exitCode, 1);
+}
+
+TEST(MiniCFeatures, LocalsShadowGlobals)
+{
+    EXPECT_EQ(run(R"(
+        int x = 100;
+        int probe() { return x; }
+        int main() {
+            int x = 5;
+            return probe() * 10 + x;
+        }
+    )").exitCode, 1005);
+}
+
+TEST(MiniCFeatures, GlobalScalarInitializers)
+{
+    EXPECT_EQ(run(R"(
+        int a = -3;
+        int b = 0x20;
+        int c;
+        int main() { return a + b + c; }
+    )").exitCode, 29);
+}
+
+TEST(MiniCFeatures, PartialArrayInitializerZeroFills)
+{
+    EXPECT_EQ(run(R"(
+        int t[6] = {5, -2};
+        int main() {
+            return t[0] * 100 + (t[1] + 2) * 10 + t[2] + t[5];
+        }
+    )").exitCode, 500);
+}
+
+TEST(MiniCFeatures, NestedLoopsAndArrays2D)
+{
+    // 2-D indexing via manual row-major arithmetic.
+    EXPECT_EQ(run(R"(
+        int grid[36];
+        int main() {
+            int r;
+            int c;
+            for (r = 0; r < 6; r = r + 1)
+                for (c = 0; c < 6; c = c + 1)
+                    grid[r * 6 + c] = r * c;
+            int total = 0;
+            for (r = 0; r < 36; r = r + 1) total = total + grid[r];
+            return total;
+        }
+    )").exitCode, 225);
+}
+
+TEST(MiniCFeatures, NestedSwitches)
+{
+    EXPECT_EQ(run(R"(
+        int classify(int a, int b) {
+            switch (a) {
+              case 0:
+                switch (b) {
+                  case 0: return 1;
+                  case 1: return 2;
+                  default: return 3;
+                }
+              case 1: return 4;
+              default: return 5;
+            }
+        }
+        int main() {
+            return classify(0, 0) * 10000 + classify(0, 1) * 1000 +
+                   classify(0, 9) * 100 + classify(1, 0) * 10 +
+                   classify(7, 7);
+        }
+    )").exitCode, 12345);
+}
+
+TEST(MiniCFeatures, SwitchWithNegativeCases)
+{
+    EXPECT_EQ(run(R"(
+        int sign_name(int x) {
+            switch (x) {
+              case -1: return 100;
+              case 0: return 200;
+              case 1: return 300;
+              default: return 400;
+            }
+        }
+        int main() {
+            return sign_name(-1) + sign_name(0) + sign_name(1) +
+                   sign_name(5);
+        }
+    )").exitCode, 1000);
+}
+
+TEST(MiniCFeatures, SwitchWithoutDefaultFallsThrough)
+{
+    EXPECT_EQ(run(R"(
+        int main() {
+            int acc = 9;
+            switch (42) {
+              case 1: acc = 1;
+              case 2: acc = 2;
+            }
+            return acc;
+        }
+    )").exitCode, 9);
+}
+
+TEST(MiniCFeatures, WhileZeroNeverRuns)
+{
+    EXPECT_EQ(run(R"(
+        int main() {
+            int n = 3;
+            while (0) n = 99;
+            for (; 0 ;) n = 98;
+            return n;
+        }
+    )").exitCode, 3);
+}
+
+TEST(MiniCFeatures, ForWithEmptySections)
+{
+    EXPECT_EQ(run(R"(
+        int main() {
+            int i = 0;
+            for (;;) {
+                i = i + 1;
+                if (i == 5) break;
+            }
+            return i;
+        }
+    )").exitCode, 5);
+}
+
+TEST(MiniCFeatures, DeepCallChains)
+{
+    EXPECT_EQ(run(R"(
+        int f1(int x) { return x + 1; }
+        int f2(int x) { return f1(x) + 1; }
+        int f3(int x) { return f2(x) + 1; }
+        int f4(int x) { return f3(x) + 1; }
+        int f5(int x) { return f4(x) + 1; }
+        int main() { return f5(f5(f5(0))); }
+    )").exitCode, 15);
+}
+
+TEST(MiniCFeatures, MutualRecursion)
+{
+    EXPECT_EQ(run(R"(
+        int is_even(int n) {
+            if (n == 0) return 1;
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) return 0;
+            return is_even(n - 1);
+        }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+    )").exitCode, 11);
+}
+
+TEST(MiniCFeatures, ExpressionTooDeepIsCompileError)
+{
+    // Nine nested calls-in-arguments exceed the 8-slot expression stack.
+    std::string expr = "1";
+    for (int i = 0; i < 9; ++i)
+        expr = "rt_max(1, 1 + " + expr + ")";
+    EXPECT_THROW(run("int main() { return (1+(2+(3+(4+(5+(6+(7+(8"
+                     "+(9+(10+11)))))))))); }"),
+                 std::runtime_error);
+}
+
+TEST(MiniCFeatures, StandardizedFramesPreserveSemantics)
+{
+    const char *source = R"(
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            puti(fib(15));
+            return fib(10);
+        }
+    )";
+    codegen::CompileOptions plain;
+    codegen::CompileOptions uniform;
+    uniform.standardizedFrames = true;
+
+    Program a = codegen::compile(source, plain);
+    Program b = codegen::compile(source, uniform);
+    ExecResult ra = runProgram(a);
+    ExecResult rb = runProgram(b);
+    EXPECT_EQ(ra.output, rb.output);
+    EXPECT_EQ(ra.exitCode, rb.exitCode);
+    // The standardized build is statically larger (full save set)...
+    EXPECT_GT(b.text.size(), a.text.size());
+    // ...and all its fitting prologues are byte-identical.
+    std::vector<isa::Word> first;
+    size_t identical = 0, checked = 0;
+    for (const FunctionSymbol &fn : b.functions) {
+        if (fn.name == "_start" || fn.prologue.count == 0)
+            continue;
+        std::vector<isa::Word> words(
+            b.text.begin() + fn.prologue.first,
+            b.text.begin() + fn.prologue.first + fn.prologue.count);
+        if (first.empty())
+            first = words;
+        identical += words == first;
+        ++checked;
+    }
+    EXPECT_EQ(identical, checked);
+}
+
+} // namespace

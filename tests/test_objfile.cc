@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the .ccp/.cci binary formats and the ByteSink/ByteSource
+ * serialization substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/compressor.hh"
+#include "compress/objfile.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "support/serialize.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+
+namespace {
+
+TEST(Serialize, PrimitivesRoundTrip)
+{
+    ByteSink sink;
+    sink.put8(0xab);
+    sink.put32(0x12345678);
+    sink.put64(0xdeadbeefcafef00dull);
+    sink.putString("hello");
+    sink.putBlob({1, 2, 3});
+
+    ByteSource source(sink.bytes());
+    EXPECT_EQ(source.get8(), 0xabu);
+    EXPECT_EQ(source.get32(), 0x12345678u);
+    EXPECT_EQ(source.get64(), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(source.getString(), "hello");
+    EXPECT_EQ(source.getBlob(), (std::vector<uint8_t>{1, 2, 3}));
+    EXPECT_TRUE(source.atEnd());
+}
+
+TEST(Serialize, TruncationIsAnError)
+{
+    ByteSink sink;
+    sink.put32(100); // string length claims 100 bytes
+    std::vector<uint8_t> bytes = sink.take();
+    ByteSource source(bytes);
+    EXPECT_THROW(source.getString(), std::runtime_error);
+
+    std::vector<uint8_t> empty;
+    ByteSource short_source(empty);
+    EXPECT_THROW(short_source.get32(), std::runtime_error);
+}
+
+TEST(ObjFile, ProgramRoundTripPreservesEverything)
+{
+    Program original = workloads::buildBenchmark("li");
+    Program loaded = loadProgram(saveProgram(original));
+
+    EXPECT_EQ(loaded.text, original.text);
+    EXPECT_EQ(loaded.data, original.data);
+    EXPECT_EQ(loaded.entryIndex, original.entryIndex);
+    EXPECT_EQ(loaded.dataBase, original.dataBase);
+    ASSERT_EQ(loaded.codeRelocs.size(), original.codeRelocs.size());
+    for (size_t i = 0; i < loaded.codeRelocs.size(); ++i) {
+        EXPECT_EQ(loaded.codeRelocs[i].dataOffset,
+                  original.codeRelocs[i].dataOffset);
+        EXPECT_EQ(loaded.codeRelocs[i].targetIndex,
+                  original.codeRelocs[i].targetIndex);
+    }
+    ASSERT_EQ(loaded.functions.size(), original.functions.size());
+    for (size_t i = 0; i < loaded.functions.size(); ++i) {
+        EXPECT_EQ(loaded.functions[i].name, original.functions[i].name);
+        EXPECT_EQ(loaded.functions[i].body, original.functions[i].body);
+        EXPECT_EQ(loaded.functions[i].prologue,
+                  original.functions[i].prologue);
+        EXPECT_EQ(loaded.functions[i].epilogues,
+                  original.functions[i].epilogues);
+    }
+
+    // And it still runs identically.
+    EXPECT_EQ(runProgram(loaded), runProgram(original));
+}
+
+TEST(ObjFile, ImageRoundTripExecutes)
+{
+    Program program = workloads::buildBenchmark("compress");
+    ExecResult reference = runProgram(program);
+
+    for (compress::Scheme scheme :
+         {compress::Scheme::Baseline, compress::Scheme::OneByte,
+          compress::Scheme::Nibble}) {
+        compress::CompressorConfig config;
+        config.scheme = scheme;
+        compress::CompressedImage image =
+            compress::compressProgram(program, config);
+        compress::CompressedImage loaded = loadImage(saveImage(image));
+
+        EXPECT_EQ(loaded.scheme, image.scheme);
+        EXPECT_EQ(loaded.text, image.text);
+        EXPECT_EQ(loaded.textNibbles, image.textNibbles);
+        EXPECT_EQ(loaded.entriesByRank, image.entriesByRank);
+        EXPECT_EQ(loaded.data, image.data);
+        EXPECT_EQ(loaded.totalBytes(), image.totalBytes());
+
+        ExecResult run = runCompressed(loaded);
+        EXPECT_EQ(run.output, reference.output);
+        EXPECT_EQ(run.exitCode, reference.exitCode);
+    }
+}
+
+TEST(ObjFile, RejectsCorruptInput)
+{
+    Program program = workloads::buildBenchmark("compress");
+    std::vector<uint8_t> good = saveProgram(program);
+
+    // Wrong magic.
+    std::vector<uint8_t> bad_magic = good;
+    bad_magic[0] ^= 0xff;
+    EXPECT_THROW(loadProgram(bad_magic), std::runtime_error);
+
+    // Truncated.
+    std::vector<uint8_t> truncated(good.begin(),
+                                   good.begin() +
+                                       static_cast<long>(good.size() / 2));
+    EXPECT_THROW(loadProgram(truncated), std::runtime_error);
+
+    // Trailing garbage.
+    std::vector<uint8_t> trailing = good;
+    trailing.push_back(0);
+    EXPECT_THROW(loadProgram(trailing), std::runtime_error);
+
+    // A .ccp is not a .cci.
+    EXPECT_THROW(loadImage(good), std::runtime_error);
+}
+
+TEST(ObjFile, FileRoundTrip)
+{
+    Program program = workloads::buildBenchmark("compress");
+    std::string path = ::testing::TempDir() + "/codecomp_test.ccp";
+    writeFile(path, saveProgram(program));
+    Program loaded = loadProgram(readFile(path));
+    EXPECT_EQ(loaded.text, program.text);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(readFile("/nonexistent/path/xyz.ccp"),
+                 std::runtime_error);
+}
+
+} // namespace

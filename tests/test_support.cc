@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the support substrate: nibble/bit stream writers and
+ * readers (the carrier of every compressed program) and the
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitstream.hh"
+#include "support/rng.hh"
+
+using namespace codecomp;
+
+namespace {
+
+TEST(NibbleStream, SingleNibblesRoundTrip)
+{
+    NibbleWriter writer;
+    for (unsigned v = 0; v < 16; ++v)
+        writer.putNibble(static_cast<uint8_t>(v));
+    EXPECT_EQ(writer.nibbleCount(), 16u);
+    EXPECT_EQ(writer.sizeBytes(), 8u);
+
+    NibbleReader reader(writer.bytes().data(), writer.nibbleCount());
+    for (unsigned v = 0; v < 16; ++v)
+        EXPECT_EQ(reader.getNibble(), v);
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(NibbleStream, HighNibbleFirst)
+{
+    NibbleWriter writer;
+    writer.putNibble(0xa);
+    writer.putNibble(0x5);
+    EXPECT_EQ(writer.bytes()[0], 0xa5);
+    writer.putNibble(0xf); // odd count: low nibble of byte 1 is zero
+    EXPECT_EQ(writer.bytes()[1], 0xf0);
+    EXPECT_EQ(writer.sizeBytes(), 2u);
+    EXPECT_EQ(writer.nibbleCount(), 3u);
+}
+
+TEST(NibbleStream, MultiNibbleValues)
+{
+    NibbleWriter writer;
+    writer.putNibbles(0x123, 3);
+    writer.putWord(0xdeadbeef);
+    NibbleReader reader(writer.bytes().data(), writer.nibbleCount());
+    EXPECT_EQ(reader.getNibbles(3), 0x123u);
+    EXPECT_EQ(reader.getWord(), 0xdeadbeefu);
+}
+
+TEST(NibbleStream, SeekSupportsRandomAccess)
+{
+    NibbleWriter writer;
+    for (int i = 0; i < 64; ++i)
+        writer.putNibble(static_cast<uint8_t>(i % 16));
+    NibbleReader reader(writer.bytes().data(), writer.nibbleCount());
+    reader.seek(33);
+    EXPECT_EQ(reader.getNibble(), 33 % 16);
+    reader.seek(0);
+    EXPECT_EQ(reader.getNibble(), 0u);
+}
+
+TEST(BitStream, MsbFirstAndRoundTrip)
+{
+    BitWriter writer;
+    writer.putBits(0b101, 3);
+    writer.putBits(0b0110, 4);
+    writer.putBit(true);
+    EXPECT_EQ(writer.bitCount(), 8u);
+    EXPECT_EQ(writer.bytes()[0], 0b10101101);
+
+    BitReader reader(writer.bytes().data(), writer.bitCount());
+    EXPECT_EQ(reader.getBits(3), 0b101u);
+    EXPECT_EQ(reader.getBits(4), 0b0110u);
+    EXPECT_TRUE(reader.getBit());
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(BitStream, CrossByteValues)
+{
+    BitWriter writer;
+    writer.putBits(0x1ffff, 17);
+    writer.putBits(0, 2);
+    writer.putBits(0x3fff, 14);
+    BitReader reader(writer.bytes().data(), writer.bitCount());
+    EXPECT_EQ(reader.getBits(17), 0x1ffffu);
+    EXPECT_EQ(reader.getBits(2), 0u);
+    EXPECT_EQ(reader.getBits(14), 0x3fffu);
+}
+
+/** Write/read interleave property over random chunk sizes. */
+class StreamProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(StreamProperty, RandomChunksRoundTrip)
+{
+    Rng rng(GetParam());
+    std::vector<std::pair<uint32_t, unsigned>> chunks;
+    BitWriter bits;
+    NibbleWriter nibbles;
+    for (int i = 0; i < 500; ++i) {
+        unsigned n = 1 + static_cast<unsigned>(rng.below(8));
+        uint32_t value =
+            static_cast<uint32_t>(rng.next()) & ((1u << (4 * n)) - 1);
+        chunks.emplace_back(value, n);
+        nibbles.putNibbles(value, n);
+        bits.putBits(value, 4 * n);
+    }
+    NibbleReader nr(nibbles.bytes().data(), nibbles.nibbleCount());
+    BitReader br(bits.bytes().data(), bits.bitCount());
+    for (const auto &[value, n] : chunks) {
+        EXPECT_EQ(nr.getNibbles(n), value);
+        EXPECT_EQ(br.getBits(4 * n), value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamProperty,
+                         ::testing::Values(1, 7, 99, 12345));
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.range(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+        EXPECT_LT(rng.below(8), 8u);
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differ = 0;
+    for (int i = 0; i < 50; ++i)
+        differ += a.next() != b.next();
+    EXPECT_GT(differ, 45);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the synthetic CINT95 substitute suite: determinism,
+ * executability, SPEC-like relative sizing, and scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hh"
+#include "decompress/cpu.hh"
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::workloads;
+
+namespace {
+
+TEST(Workloads, EightBenchmarksInPaperOrder)
+{
+    const auto &names = benchmarkNames();
+    ASSERT_EQ(names.size(), 8u);
+    EXPECT_EQ(names.front(), "compress");
+    EXPECT_EQ(names[1], "gcc");
+    EXPECT_EQ(names.back(), "vortex");
+}
+
+TEST(Workloads, UnknownNameIsAnError)
+{
+    EXPECT_THROW(benchmarkSource("espresso"), std::runtime_error);
+}
+
+TEST(Workloads, SourceGenerationIsDeterministic)
+{
+    for (const std::string &name : benchmarkNames())
+        EXPECT_EQ(benchmarkSource(name), benchmarkSource(name)) << name;
+}
+
+TEST(Workloads, GccIsLargestCompressIsSmallest)
+{
+    // Mirrors CINT95's size ordering (and paper Table 2's extremes).
+    size_t compress_size = buildBenchmark("compress").text.size();
+    size_t gcc_size = buildBenchmark("gcc").text.size();
+    for (const std::string &name : benchmarkNames()) {
+        size_t size = buildBenchmark(name).text.size();
+        EXPECT_GE(size, compress_size) << name;
+        EXPECT_LE(size, gcc_size) << name;
+    }
+    EXPECT_GT(gcc_size, 4 * compress_size);
+}
+
+TEST(Workloads, ScaleGrowsPrograms)
+{
+    Program one = buildBenchmark("li", 1);
+    Program two = buildBenchmark("li", 2);
+    EXPECT_GT(two.text.size(), one.text.size() * 3 / 2);
+    // Scaled programs still run.
+    ExecResult r = runProgram(two, 1ull << 26);
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(Workloads, BigLoopFunctionCompilesAndSpans)
+{
+    std::string src = bigLoopFunction("huge", 600, 42) +
+                      "int main() { return huge(3) & 127; }\n";
+    Program p = codegen::compile(src);
+    EXPECT_GT(p.text.size(), 1200u); // ~2 insns per statement
+    ExecResult r = runProgram(p, 1 << 22);
+    EXPECT_EQ(r.instCount, runProgram(p, 1 << 22).instCount);
+}
+
+/** Each benchmark executes, produces output, and is reproducible. */
+class WorkloadExecution : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadExecution, DeterministicRun)
+{
+    Program p = buildBenchmark(GetParam());
+    ExecResult a = runProgram(p, 1ull << 26);
+    EXPECT_EQ(a.exitCode, 0) << GetParam();
+    EXPECT_FALSE(a.output.empty());
+    // Output ends with the checksum line.
+    EXPECT_EQ(a.output.back(), '\n');
+
+    ExecResult b = runProgram(p, 1ull << 26);
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadExecution,
+                         ::testing::Values("compress", "gcc", "go", "ijpeg",
+                                           "li", "m88ksim", "perl",
+                                           "vortex"));
+
+TEST(Generator, FillerIsSelfContained)
+{
+    GenSpec spec;
+    spec.seed = 99;
+    spec.leafFuncs = 3;
+    spec.midFuncs = 3;
+    spec.dispatchFuncs = 1;
+    spec.switchCases = 4;
+    FillerCode filler = generateFiller(spec, "tst", 5);
+    std::string src = filler.definitions;
+    src += "int main() {\n    int acc = 1;\n    int tst_it;\n";
+    src += filler.mainStmts;
+    src += "    return acc & 127;\n}\n";
+    Program p = codegen::compile(src);
+    ExecResult r = runProgram(p, 1 << 24);
+    EXPECT_GE(r.exitCode, 0);
+}
+
+} // namespace

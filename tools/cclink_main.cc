@@ -1,0 +1,75 @@
+/**
+ * @file
+ * cclink -- the static linker: object modules (.cco) to an executable
+ * program (.ccp). The runtime library is linked in automatically
+ * unless --no-runtime is given.
+ *
+ *   cclink a.cco b.cco ... -o prog.ccp [--no-runtime]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.hh"
+#include "compress/objfile.hh"
+#include "link/linker.hh"
+#include "support/serialize.hh"
+
+using namespace codecomp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: cclink <a.cco> [b.cco ...] -o <out.ccp> "
+                 "[--no-runtime]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::string output;
+    bool with_runtime = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--no-runtime") {
+            with_runtime = false;
+        } else if (!arg.empty() && arg[0] != '-') {
+            inputs.push_back(arg);
+        } else {
+            return usage();
+        }
+    }
+    if (inputs.empty() || output.empty())
+        return usage();
+
+    try {
+        std::vector<link::ObjectModule> modules;
+        for (const std::string &path : inputs)
+            modules.push_back(link::loadModule(readFile(path)));
+        if (with_runtime)
+            modules.push_back(codegen::runtimeModule());
+
+        Program program = link::linkModules(modules);
+        writeFile(output, saveProgram(program));
+        std::printf("linked %zu module(s): %zu instructions (%u bytes "
+                    ".text), %zu bytes .data, %zu functions -> %s\n",
+                    modules.size(), program.text.size(),
+                    program.textBytes(), program.data.size(),
+                    program.functions.size(), output.c_str());
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "cclink: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ccompress -- compress a linked .ccp program into a .cci image.
+ *
+ *   ccompress prog.ccp -o prog.cci [--scheme baseline|onebyte|nibble]
+ *             [--max-entries N] [--max-len N] [--stats]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/analysis.hh"
+#include "compress/compressor.hh"
+#include "compress/objfile.hh"
+#include "support/serialize.hh"
+
+using namespace codecomp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ccompress <in.ccp> -o <out.cci> "
+                 "[--scheme baseline|onebyte|nibble] [--max-entries N] "
+                 "[--max-len N] [--stats]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input;
+    std::string output;
+    bool stats = false;
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+    config.maxEntries = 4680;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--scheme" && i + 1 < argc) {
+            std::string scheme = argv[++i];
+            if (scheme == "baseline")
+                config.scheme = compress::Scheme::Baseline;
+            else if (scheme == "onebyte")
+                config.scheme = compress::Scheme::OneByte;
+            else if (scheme == "nibble")
+                config.scheme = compress::Scheme::Nibble;
+            else
+                return usage();
+        } else if (arg == "--max-entries" && i + 1 < argc) {
+            config.maxEntries =
+                static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--max-len" && i + 1 < argc) {
+            config.maxEntryLen =
+                static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (!arg.empty() && arg[0] != '-') {
+            input = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty() || output.empty())
+        return usage();
+
+    try {
+        Program program = loadProgram(readFile(input));
+        compress::CompressedImage image =
+            compress::compressProgram(program, config);
+        writeFile(output, saveImage(image));
+        std::printf("%s: %u -> %zu bytes (text %zu + dict %zu), ratio "
+                    "%.1f%%, %zu codewords, %u far-branch stubs -> %s\n",
+                    input.c_str(), image.originalTextBytes,
+                    image.totalBytes(), image.compressedTextBytes(),
+                    image.dictionaryBytes(),
+                    image.compressionRatio() * 100,
+                    image.entriesByRank.size(),
+                    image.farBranchExpansions, output.c_str());
+        if (stats) {
+            const compress::Composition &comp = image.composition;
+            double total = static_cast<double>(comp.totalNibbles());
+            std::printf("composition: insns %.1f%%, codewords %.1f%%, "
+                        "escapes %.1f%%, dictionary %.1f%%\n",
+                        100 * comp.insnNibbles / total,
+                        100 * comp.codewordNibbles / total,
+                        100 * comp.escapeNibbles / total,
+                        100 * comp.dictNibbles / total);
+            analysis::DictionaryUsage usage =
+                analysis::analyzeDictionaryUsage(image);
+            for (const auto &[len, count] : usage.entriesByLength)
+                std::printf("  %u-instruction entries: %u (%.1f%% of "
+                            "savings)\n",
+                            len, count,
+                            100.0 * static_cast<double>(
+                                usage.bytesSavedByLength.at(len)) /
+                                static_cast<double>(
+                                    usage.totalBytesSaved));
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "ccompress: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

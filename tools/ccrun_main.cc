@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ccrun -- execute a .ccp program (plain processor) or a .cci image
+ * (compressed-program processor). Program output goes to stdout; the
+ * simulated exit code becomes ccrun's exit code.
+ *
+ *   ccrun prog.ccp [--max-steps N] [--stats]
+ *   ccrun prog.cci [--max-steps N] [--stats]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "compress/objfile.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "support/serialize.hh"
+
+using namespace codecomp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ccrun <prog.ccp|prog.cci> [--max-steps N] "
+                 "[--stats]\n");
+    return 2;
+}
+
+bool
+hasMagic(const std::vector<uint8_t> &bytes, const char *magic)
+{
+    return bytes.size() >= 4 && bytes[0] == magic[0] &&
+           bytes[1] == magic[1] && bytes[2] == magic[2] &&
+           bytes[3] == magic[3];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input;
+    uint64_t max_steps = 1ull << 28;
+    bool stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--max-steps" && i + 1 < argc) {
+            max_steps = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (!arg.empty() && arg[0] != '-') {
+            input = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty())
+        return usage();
+
+    try {
+        std::vector<uint8_t> bytes = readFile(input);
+        if (hasMagic(bytes, "CCPR")) {
+            Program program = loadProgram(bytes);
+            ExecResult result = runProgram(program, max_steps);
+            std::fputs(result.output.c_str(), stdout);
+            if (stats)
+                std::fprintf(stderr,
+                             "ccrun: %llu instructions, exit %d\n",
+                             static_cast<unsigned long long>(
+                                 result.instCount),
+                             result.exitCode);
+            return result.exitCode & 0xff;
+        }
+        if (hasMagic(bytes, "CCIM")) {
+            compress::CompressedImage image = loadImage(bytes);
+            CompressedCpu cpu(image);
+            ExecResult result = cpu.run(max_steps);
+            std::fputs(result.output.c_str(), stdout);
+            if (stats) {
+                const FetchStats &fetch = cpu.fetchStats();
+                std::fprintf(
+                    stderr,
+                    "ccrun: %llu instructions (%llu fetches, %llu "
+                    "codewords, %llu expanded), exit %d\n",
+                    static_cast<unsigned long long>(result.instCount),
+                    static_cast<unsigned long long>(fetch.itemFetches),
+                    static_cast<unsigned long long>(fetch.codewordFetches),
+                    static_cast<unsigned long long>(fetch.expandedInsts),
+                    result.exitCode);
+            }
+            return result.exitCode & 0xff;
+        }
+        std::fprintf(stderr, "ccrun: '%s' is neither .ccp nor .cci\n",
+                     input.c_str());
+        return 1;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "ccrun: %s\n", error.what());
+        return 1;
+    }
+}
