@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_profile.dir/ext_profile.cc.o"
+  "CMakeFiles/ext_profile.dir/ext_profile.cc.o.d"
+  "ext_profile"
+  "ext_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

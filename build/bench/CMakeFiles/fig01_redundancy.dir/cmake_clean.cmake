@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_redundancy.dir/fig01_redundancy.cc.o"
+  "CMakeFiles/fig01_redundancy.dir/fig01_redundancy.cc.o.d"
+  "fig01_redundancy"
+  "fig01_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_num_codewords.dir/fig05_num_codewords.cc.o"
+  "CMakeFiles/fig05_num_codewords.dir/fig05_num_codewords.cc.o.d"
+  "fig05_num_codewords"
+  "fig05_num_codewords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_num_codewords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dict_composition.dir/fig06_dict_composition.cc.o"
+  "CMakeFiles/fig06_dict_composition.dir/fig06_dict_composition.cc.o.d"
+  "fig06_dict_composition"
+  "fig06_dict_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dict_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_savings_by_length.dir/fig07_savings_by_length.cc.o"
+  "CMakeFiles/fig07_savings_by_length.dir/fig07_savings_by_length.cc.o.d"
+  "fig07_savings_by_length"
+  "fig07_savings_by_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_savings_by_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

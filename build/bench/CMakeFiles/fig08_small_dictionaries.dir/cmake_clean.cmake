@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_small_dictionaries.dir/fig08_small_dictionaries.cc.o"
+  "CMakeFiles/fig08_small_dictionaries.dir/fig08_small_dictionaries.cc.o.d"
+  "fig08_small_dictionaries"
+  "fig08_small_dictionaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_small_dictionaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_composition.dir/fig09_composition.cc.o"
+  "CMakeFiles/fig09_composition.dir/fig09_composition.cc.o.d"
+  "fig09_composition"
+  "fig09_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

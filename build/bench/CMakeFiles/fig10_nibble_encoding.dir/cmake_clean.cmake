@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nibble_encoding.dir/fig10_nibble_encoding.cc.o"
+  "CMakeFiles/fig10_nibble_encoding.dir/fig10_nibble_encoding.cc.o.d"
+  "fig10_nibble_encoding"
+  "fig10_nibble_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nibble_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

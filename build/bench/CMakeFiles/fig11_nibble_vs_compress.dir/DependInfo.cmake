@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_nibble_vs_compress.cc" "bench/CMakeFiles/fig11_nibble_vs_compress.dir/fig11_nibble_vs_compress.cc.o" "gcc" "bench/CMakeFiles/fig11_nibble_vs_compress.dir/fig11_nibble_vs_compress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/cc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/decompress/CMakeFiles/cc_decompress.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/cc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cc_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nibble_vs_compress.dir/fig11_nibble_vs_compress.cc.o"
+  "CMakeFiles/fig11_nibble_vs_compress.dir/fig11_nibble_vs_compress.cc.o.d"
+  "fig11_nibble_vs_compress"
+  "fig11_nibble_vs_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nibble_vs_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_branch_offsets.dir/table1_branch_offsets.cc.o"
+  "CMakeFiles/table1_branch_offsets.dir/table1_branch_offsets.cc.o.d"
+  "table1_branch_offsets"
+  "table1_branch_offsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_branch_offsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_max_codewords.dir/table2_max_codewords.cc.o"
+  "CMakeFiles/table2_max_codewords.dir/table2_max_codewords.cc.o.d"
+  "table2_max_codewords"
+  "table2_max_codewords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_max_codewords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_prologue_epilogue.dir/table3_prologue_epilogue.cc.o"
+  "CMakeFiles/table3_prologue_epilogue.dir/table3_prologue_epilogue.cc.o.d"
+  "table3_prologue_epilogue"
+  "table3_prologue_epilogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_prologue_epilogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

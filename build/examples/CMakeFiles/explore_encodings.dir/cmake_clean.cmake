@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_encodings.dir/explore_encodings.cpp.o"
+  "CMakeFiles/explore_encodings.dir/explore_encodings.cpp.o.d"
+  "explore_encodings"
+  "explore_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

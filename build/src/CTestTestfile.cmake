@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("program")
+subdirs("link")
+subdirs("codegen")
+subdirs("compress")
+subdirs("decompress")
+subdirs("workloads")
+subdirs("analysis")
+subdirs("baselines")
+subdirs("cache")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_analysis.dir/analysis.cc.o"
+  "CMakeFiles/cc_analysis.dir/analysis.cc.o.d"
+  "libcc_analysis.a"
+  "libcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_baselines.dir/ccrp.cc.o"
+  "CMakeFiles/cc_baselines.dir/ccrp.cc.o.d"
+  "CMakeFiles/cc_baselines.dir/huffman.cc.o"
+  "CMakeFiles/cc_baselines.dir/huffman.cc.o.d"
+  "CMakeFiles/cc_baselines.dir/liao.cc.o"
+  "CMakeFiles/cc_baselines.dir/liao.cc.o.d"
+  "CMakeFiles/cc_baselines.dir/lzw.cc.o"
+  "CMakeFiles/cc_baselines.dir/lzw.cc.o.d"
+  "libcc_baselines.a"
+  "libcc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

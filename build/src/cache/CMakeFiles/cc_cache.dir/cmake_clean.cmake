@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_cache.dir/icache.cc.o"
+  "CMakeFiles/cc_cache.dir/icache.cc.o.d"
+  "libcc_cache.a"
+  "libcc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

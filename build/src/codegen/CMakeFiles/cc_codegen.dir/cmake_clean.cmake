@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_codegen.dir/codegen.cc.o"
+  "CMakeFiles/cc_codegen.dir/codegen.cc.o.d"
+  "CMakeFiles/cc_codegen.dir/lexer.cc.o"
+  "CMakeFiles/cc_codegen.dir/lexer.cc.o.d"
+  "CMakeFiles/cc_codegen.dir/parser.cc.o"
+  "CMakeFiles/cc_codegen.dir/parser.cc.o.d"
+  "CMakeFiles/cc_codegen.dir/runtime.cc.o"
+  "CMakeFiles/cc_codegen.dir/runtime.cc.o.d"
+  "libcc_codegen.a"
+  "libcc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/candidates.cc" "src/compress/CMakeFiles/cc_compress.dir/candidates.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/candidates.cc.o.d"
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/cc_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/encoding.cc" "src/compress/CMakeFiles/cc_compress.dir/encoding.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/encoding.cc.o.d"
+  "/root/repo/src/compress/greedy.cc" "src/compress/CMakeFiles/cc_compress.dir/greedy.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/greedy.cc.o.d"
+  "/root/repo/src/compress/objfile.cc" "src/compress/CMakeFiles/cc_compress.dir/objfile.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/objfile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/cc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

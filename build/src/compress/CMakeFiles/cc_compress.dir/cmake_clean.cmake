@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_compress.dir/candidates.cc.o"
+  "CMakeFiles/cc_compress.dir/candidates.cc.o.d"
+  "CMakeFiles/cc_compress.dir/compressor.cc.o"
+  "CMakeFiles/cc_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/cc_compress.dir/encoding.cc.o"
+  "CMakeFiles/cc_compress.dir/encoding.cc.o.d"
+  "CMakeFiles/cc_compress.dir/greedy.cc.o"
+  "CMakeFiles/cc_compress.dir/greedy.cc.o.d"
+  "CMakeFiles/cc_compress.dir/objfile.cc.o"
+  "CMakeFiles/cc_compress.dir/objfile.cc.o.d"
+  "libcc_compress.a"
+  "libcc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

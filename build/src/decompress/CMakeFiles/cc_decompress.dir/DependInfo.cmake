@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decompress/compressed_cpu.cc" "src/decompress/CMakeFiles/cc_decompress.dir/compressed_cpu.cc.o" "gcc" "src/decompress/CMakeFiles/cc_decompress.dir/compressed_cpu.cc.o.d"
+  "/root/repo/src/decompress/cpu.cc" "src/decompress/CMakeFiles/cc_decompress.dir/cpu.cc.o" "gcc" "src/decompress/CMakeFiles/cc_decompress.dir/cpu.cc.o.d"
+  "/root/repo/src/decompress/engine.cc" "src/decompress/CMakeFiles/cc_decompress.dir/engine.cc.o" "gcc" "src/decompress/CMakeFiles/cc_decompress.dir/engine.cc.o.d"
+  "/root/repo/src/decompress/machine.cc" "src/decompress/CMakeFiles/cc_decompress.dir/machine.cc.o" "gcc" "src/decompress/CMakeFiles/cc_decompress.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_decompress.dir/compressed_cpu.cc.o"
+  "CMakeFiles/cc_decompress.dir/compressed_cpu.cc.o.d"
+  "CMakeFiles/cc_decompress.dir/cpu.cc.o"
+  "CMakeFiles/cc_decompress.dir/cpu.cc.o.d"
+  "CMakeFiles/cc_decompress.dir/engine.cc.o"
+  "CMakeFiles/cc_decompress.dir/engine.cc.o.d"
+  "CMakeFiles/cc_decompress.dir/machine.cc.o"
+  "CMakeFiles/cc_decompress.dir/machine.cc.o.d"
+  "libcc_decompress.a"
+  "libcc_decompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_decompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_isa.dir/disasm.cc.o"
+  "CMakeFiles/cc_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/cc_isa.dir/inst.cc.o"
+  "CMakeFiles/cc_isa.dir/inst.cc.o.d"
+  "libcc_isa.a"
+  "libcc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/linker.cc" "src/link/CMakeFiles/cc_link.dir/linker.cc.o" "gcc" "src/link/CMakeFiles/cc_link.dir/linker.cc.o.d"
+  "/root/repo/src/link/object.cc" "src/link/CMakeFiles/cc_link.dir/object.cc.o" "gcc" "src/link/CMakeFiles/cc_link.dir/object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/cc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

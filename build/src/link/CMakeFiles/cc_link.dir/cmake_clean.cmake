@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_link.dir/linker.cc.o"
+  "CMakeFiles/cc_link.dir/linker.cc.o.d"
+  "CMakeFiles/cc_link.dir/object.cc.o"
+  "CMakeFiles/cc_link.dir/object.cc.o.d"
+  "libcc_link.a"
+  "libcc_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

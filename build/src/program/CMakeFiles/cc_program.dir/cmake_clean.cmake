@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_program.dir/cfg.cc.o"
+  "CMakeFiles/cc_program.dir/cfg.cc.o.d"
+  "CMakeFiles/cc_program.dir/program.cc.o"
+  "CMakeFiles/cc_program.dir/program.cc.o.d"
+  "libcc_program.a"
+  "libcc_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

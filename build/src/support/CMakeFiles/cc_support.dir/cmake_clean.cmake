@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_support.dir/logging.cc.o"
+  "CMakeFiles/cc_support.dir/logging.cc.o.d"
+  "CMakeFiles/cc_support.dir/serialize.cc.o"
+  "CMakeFiles/cc_support.dir/serialize.cc.o.d"
+  "libcc_support.a"
+  "libcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bench_compress.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_compress.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_compress.cc.o.d"
+  "/root/repo/src/workloads/bench_gcc.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_gcc.cc.o.d"
+  "/root/repo/src/workloads/bench_go.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_go.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_go.cc.o.d"
+  "/root/repo/src/workloads/bench_ijpeg.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_ijpeg.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_ijpeg.cc.o.d"
+  "/root/repo/src/workloads/bench_li.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_li.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_li.cc.o.d"
+  "/root/repo/src/workloads/bench_m88ksim.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_m88ksim.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_m88ksim.cc.o.d"
+  "/root/repo/src/workloads/bench_perl.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_perl.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_perl.cc.o.d"
+  "/root/repo/src/workloads/bench_vortex.cc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/bench_vortex.cc.o.d"
+  "/root/repo/src/workloads/generator.cc" "src/workloads/CMakeFiles/cc_workloads.dir/generator.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/generator.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/cc_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/cc_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/cc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cc_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_workloads.dir/bench_compress.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_compress.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/bench_gcc.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_gcc.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/bench_go.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_go.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/bench_ijpeg.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_ijpeg.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/bench_li.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_li.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/bench_m88ksim.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_m88ksim.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/bench_perl.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_perl.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/bench_vortex.cc.o"
+  "CMakeFiles/cc_workloads.dir/bench_vortex.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/generator.cc.o"
+  "CMakeFiles/cc_workloads.dir/generator.cc.o.d"
+  "CMakeFiles/cc_workloads.dir/workloads.cc.o"
+  "CMakeFiles/cc_workloads.dir/workloads.cc.o.d"
+  "libcc_workloads.a"
+  "libcc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

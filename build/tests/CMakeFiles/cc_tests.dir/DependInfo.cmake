@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/cc_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_analysis_properties.cc" "tests/CMakeFiles/cc_tests.dir/test_analysis_properties.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_analysis_properties.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/cc_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/cc_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/cc_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_compress.cc" "tests/CMakeFiles/cc_tests.dir/test_compress.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_compress.cc.o.d"
+  "/root/repo/tests/test_compress_properties.cc" "tests/CMakeFiles/cc_tests.dir/test_compress_properties.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_compress_properties.cc.o.d"
+  "/root/repo/tests/test_disasm.cc" "tests/CMakeFiles/cc_tests.dir/test_disasm.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_disasm.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/cc_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/cc_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/cc_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_isa_properties.cc" "tests/CMakeFiles/cc_tests.dir/test_isa_properties.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_isa_properties.cc.o.d"
+  "/root/repo/tests/test_link.cc" "tests/CMakeFiles/cc_tests.dir/test_link.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_link.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/cc_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_minic_features.cc" "tests/CMakeFiles/cc_tests.dir/test_minic_features.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_minic_features.cc.o.d"
+  "/root/repo/tests/test_objfile.cc" "tests/CMakeFiles/cc_tests.dir/test_objfile.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_objfile.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/cc_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/cc_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/cc_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/cc_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/cc_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/decompress/CMakeFiles/cc_decompress.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/cc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

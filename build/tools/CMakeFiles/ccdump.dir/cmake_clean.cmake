@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdump.dir/ccdump_main.cc.o"
+  "CMakeFiles/ccdump.dir/ccdump_main.cc.o.d"
+  "ccdump"
+  "ccdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

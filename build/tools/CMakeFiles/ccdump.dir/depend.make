@@ -1,0 +1,2 @@
+# Empty dependencies file for ccdump.
+# This may be replaced when dependencies are built.

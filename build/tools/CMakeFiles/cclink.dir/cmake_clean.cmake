@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cclink.dir/cclink_main.cc.o"
+  "CMakeFiles/cclink.dir/cclink_main.cc.o.d"
+  "cclink"
+  "cclink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cclink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cclink.
+# This may be replaced when dependencies are built.

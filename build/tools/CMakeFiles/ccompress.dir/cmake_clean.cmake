@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccompress.dir/ccompress_main.cc.o"
+  "CMakeFiles/ccompress.dir/ccompress_main.cc.o.d"
+  "ccompress"
+  "ccompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

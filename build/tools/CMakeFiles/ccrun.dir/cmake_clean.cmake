@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccrun.dir/ccrun_main.cc.o"
+  "CMakeFiles/ccrun.dir/ccrun_main.cc.o.d"
+  "ccrun"
+  "ccrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

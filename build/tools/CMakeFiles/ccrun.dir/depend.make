@@ -1,0 +1,2 @@
+# Empty dependencies file for ccrun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_minicc_c_module_a "/root/repo/build/tools/minicc" "-c" "/root/repo/tools/testdata/modmath.mc" "-o" "/root/repo/build/tools/modmath.cco")
+set_tests_properties(tool_minicc_c_module_a PROPERTIES  FIXTURES_SETUP "e2e_cco" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_minicc_c_module_b "/root/repo/build/tools/minicc" "-c" "/root/repo/tools/testdata/modapp.mc" "-o" "/root/repo/build/tools/modapp.cco")
+set_tests_properties(tool_minicc_c_module_b PROPERTIES  FIXTURES_SETUP "e2e_cco" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cclink "/root/repo/build/tools/cclink" "/root/repo/build/tools/modapp.cco" "/root/repo/build/tools/modmath.cco" "-o" "/root/repo/build/tools/mod.ccp")
+set_tests_properties(tool_cclink PROPERTIES  FIXTURES_REQUIRED "e2e_cco" FIXTURES_SETUP "e2e_linked" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ccrun_linked "/root/repo/build/tools/ccrun" "/root/repo/build/tools/mod.ccp" "--stats")
+set_tests_properties(tool_ccrun_linked PROPERTIES  FIXTURES_REQUIRED "e2e_linked" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_minicc_benchmark "/root/repo/build/tools/minicc" "--benchmark" "compress" "-o" "/root/repo/build/tools/e2e.ccp")
+set_tests_properties(tool_minicc_benchmark PROPERTIES  FIXTURES_SETUP "e2e_ccp" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ccompress "/root/repo/build/tools/ccompress" "/root/repo/build/tools/e2e.ccp" "-o" "/root/repo/build/tools/e2e.cci" "--scheme" "nibble" "--stats")
+set_tests_properties(tool_ccompress PROPERTIES  FIXTURES_REQUIRED "e2e_ccp" FIXTURES_SETUP "e2e_cci" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;47;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ccrun_plain "/root/repo/build/tools/ccrun" "/root/repo/build/tools/e2e.ccp" "--stats")
+set_tests_properties(tool_ccrun_plain PROPERTIES  FIXTURES_REQUIRED "e2e_ccp" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;54;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ccrun_compressed "/root/repo/build/tools/ccrun" "/root/repo/build/tools/e2e.cci" "--stats")
+set_tests_properties(tool_ccrun_compressed PROPERTIES  FIXTURES_REQUIRED "e2e_cci" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;59;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ccdump_program "/root/repo/build/tools/ccdump" "/root/repo/build/tools/e2e.ccp")
+set_tests_properties(tool_ccdump_program PROPERTIES  FIXTURES_REQUIRED "e2e_ccp" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;64;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ccdump_image "/root/repo/build/tools/ccdump" "/root/repo/build/tools/e2e.cci" "--stream" "20")
+set_tests_properties(tool_ccdump_image PROPERTIES  FIXTURES_REQUIRED "e2e_cci" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;69;add_test;/root/repo/tools/CMakeLists.txt;0;")
