@@ -17,27 +17,47 @@
 using namespace codecomp;
 using namespace codecomp::bench;
 
-int
-main()
+namespace {
+
+struct ScalePoint
 {
+    size_t insns = 0;
+    size_t codewords = 0;
+    double ratio = 0;
+    size_t dictBytes = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initJobs(argc, argv);
     banner("Extension: program scale",
            "gcc generator at growing scale (baseline, 8192 codewords, "
            "4 insns/entry)");
     std::printf("%-7s %9s %12s %10s %10s\n", "scale", "insns",
                 "codewords", "ratio", "dict(B)");
-    for (int scale : {1, 2, 3}) {
-        Program program = workloads::buildBenchmark("gcc", scale);
-        compress::CompressorConfig config;
-        config.scheme = compress::Scheme::Baseline;
-        config.maxEntries = 8192;
-        config.maxEntryLen = 4;
-        compress::CompressedImage image =
-            compress::compressProgram(program, config);
-        std::printf("%-7d %9zu %12zu %10s %10zu\n", scale,
-                    program.text.size(), image.entriesByRank.size(),
-                    pct(image.compressionRatio()).c_str(),
-                    image.dictionaryBytes());
-    }
+    const std::vector<int> scales = {1, 2, 3};
+    std::vector<ScalePoint> points = parallelMap<ScalePoint>(
+        scales.size(), [&scales](size_t i) {
+            Program program =
+                workloads::buildBenchmark("gcc", scales[i]);
+            compress::CompressorConfig config;
+            config.scheme = compress::Scheme::Baseline;
+            config.maxEntries = 8192;
+            config.maxEntryLen = 4;
+            compress::CompressedImage image =
+                compress::compressProgram(program, config);
+            return ScalePoint{program.text.size(),
+                              image.entriesByRank.size(),
+                              image.compressionRatio(),
+                              image.dictionaryBytes()};
+        });
+    for (size_t i = 0; i < scales.size(); ++i)
+        std::printf("%-7d %9zu %12zu %10s %10zu\n", scales[i],
+                    points[i].insns, points[i].codewords,
+                    pct(points[i].ratio).c_str(), points[i].dictBytes);
     std::printf("paper (real gcc, ~350k insns): 7927 codewords; the "
                 "trend toward thousands of codewords\nand improving "
                 "ratio with size is what closes deviation D2.\n");

@@ -15,26 +15,30 @@ using namespace codecomp;
 using namespace codecomp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initJobs(argc, argv);
     banner("Figure 4", "compression ratio vs max dictionary entry length "
                        "(baseline, 8192 codewords)");
-    const unsigned lengths[] = {1, 2, 3, 4, 6, 8};
+    const std::vector<unsigned> lengths = {1, 2, 3, 4, 6, 8};
     std::printf("%-9s", "bench");
     for (unsigned len : lengths)
         std::printf("   len=%u ", len);
     std::printf("\n");
-    for (const auto &[name, program] : buildSuite()) {
-        std::printf("%-9s", name.c_str());
-        for (unsigned len : lengths) {
+    auto suite = buildSuite();
+    auto ratios = parallelGrid<double>(
+        suite.size(), lengths.size(), [&](size_t row, size_t col) {
             compress::CompressorConfig config;
             config.scheme = compress::Scheme::Baseline;
             config.maxEntries = 8192;
-            config.maxEntryLen = len;
-            compress::CompressedImage image =
-                compress::compressProgram(program, config);
-            std::printf("  %s", pct(image.compressionRatio()).c_str());
-        }
+            config.maxEntryLen = lengths[col];
+            return compress::compressProgram(suite[row].second, config)
+                .compressionRatio();
+        });
+    for (size_t row = 0; row < suite.size(); ++row) {
+        std::printf("%-9s", suite[row].first.c_str());
+        for (double ratio : ratios[row])
+            std::printf("  %s", pct(ratio).c_str());
         std::printf("\n");
     }
     std::printf("paper shape: improvement 1->2->4, little or no gain "

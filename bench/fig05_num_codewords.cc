@@ -14,27 +14,32 @@ using namespace codecomp;
 using namespace codecomp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initJobs(argc, argv);
     banner("Figure 5",
            "compression ratio vs number of codewords (baseline, 4 "
            "insns/entry)");
-    const unsigned budgets[] = {16, 64, 256, 1024, 2048, 4096, 8192};
+    const std::vector<unsigned> budgets = {16,   64,   256, 1024,
+                                           2048, 4096, 8192};
     std::printf("%-9s", "bench");
     for (unsigned budget : budgets)
         std::printf(" %7u", budget);
     std::printf("\n");
-    for (const auto &[name, program] : buildSuite()) {
-        std::printf("%-9s", name.c_str());
-        for (unsigned budget : budgets) {
+    auto suite = buildSuite();
+    auto ratios = parallelGrid<double>(
+        suite.size(), budgets.size(), [&](size_t row, size_t col) {
             compress::CompressorConfig config;
             config.scheme = compress::Scheme::Baseline;
-            config.maxEntries = budget;
+            config.maxEntries = budgets[col];
             config.maxEntryLen = 4;
-            compress::CompressedImage image =
-                compress::compressProgram(program, config);
-            std::printf(" %s", pct(image.compressionRatio()).c_str());
-        }
+            return compress::compressProgram(suite[row].second, config)
+                .compressionRatio();
+        });
+    for (size_t row = 0; row < suite.size(); ++row) {
+        std::printf("%-9s", suite[row].first.c_str());
+        for (double ratio : ratios[row])
+            std::printf(" %s", pct(ratio).c_str());
         std::printf("\n");
     }
     std::printf("paper shape: monotone improvement, flattening in the "

@@ -20,27 +20,30 @@ using namespace codecomp;
 using namespace codecomp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initJobs(argc, argv);
     banner("Figure 8",
            "compression ratio, 1-byte codewords, <= 4 insns/entry");
-    const unsigned budgets[] = {8, 16, 32};
+    const std::vector<unsigned> budgets = {8, 16, 32};
     std::printf("%-9s", "bench");
     for (unsigned budget : budgets)
         std::printf("  %2u entries (%3uB dict)", budget, budget * 16);
     std::printf("\n");
-    for (const auto &[name, program] : buildSuite()) {
-        std::printf("%-9s", name.c_str());
-        for (unsigned budget : budgets) {
+    auto suite = buildSuite();
+    auto ratios = parallelGrid<double>(
+        suite.size(), budgets.size(), [&](size_t row, size_t col) {
             compress::CompressorConfig config;
             config.scheme = compress::Scheme::OneByte;
-            config.maxEntries = budget;
+            config.maxEntries = budgets[col];
             config.maxEntryLen = 4;
-            compress::CompressedImage image =
-                compress::compressProgram(program, config);
-            std::printf("          %s   ",
-                        pct(image.compressionRatio()).c_str());
-        }
+            return compress::compressProgram(suite[row].second, config)
+                .compressionRatio();
+        });
+    for (size_t row = 0; row < suite.size(); ++row) {
+        std::printf("%-9s", suite[row].first.c_str());
+        for (double ratio : ratios[row])
+            std::printf("          %s   ", pct(ratio).c_str());
         std::printf("\n");
     }
     std::printf("paper: 512-byte dictionary -> ~15%% average reduction; "

@@ -33,32 +33,50 @@ textBytes(const Program &program)
 
 } // namespace
 
-int
-main()
+namespace {
+
+struct Comparison
 {
+    size_t origBytes = 0;
+    double nibbleRatio = 0;
+    double lzwRatio = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initJobs(argc, argv);
     banner("Figure 11",
            "nibble-aligned compression vs Unix Compress (LZW)");
     std::printf("%-9s %10s %12s %12s %8s\n", "bench", "orig(B)",
                 "nibble", "compress(1)", "delta");
     auto suite = buildSuite();
+    std::vector<Comparison> rows = parallelMap<Comparison>(
+        suite.size(), [&suite](size_t i) {
+            const Program &program = suite[i].second;
+            compress::CompressorConfig config;
+            config.scheme = compress::Scheme::Nibble;
+            config.maxEntries = 4680;
+            config.maxEntryLen = 4;
+            compress::CompressedImage image =
+                compress::compressProgram(program, config);
+            std::vector<uint8_t> bytes = textBytes(program);
+            std::vector<uint8_t> lzw = baselines::lzwCompress(bytes);
+            return Comparison{
+                bytes.size(), image.compressionRatio(),
+                static_cast<double>(lzw.size()) / bytes.size()};
+        });
     double worst_delta = 0;
-    for (const auto &[name, program] : suite) {
-        compress::CompressorConfig config;
-        config.scheme = compress::Scheme::Nibble;
-        config.maxEntries = 4680;
-        config.maxEntryLen = 4;
-        compress::CompressedImage image =
-            compress::compressProgram(program, config);
-
-        std::vector<uint8_t> bytes = textBytes(program);
-        std::vector<uint8_t> lzw = baselines::lzwCompress(bytes);
-        double lzw_ratio =
-            static_cast<double>(lzw.size()) / bytes.size();
-        double delta = image.compressionRatio() - lzw_ratio;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const Comparison &row = rows[i];
+        double delta = row.nibbleRatio - row.lzwRatio;
         worst_delta = std::max(worst_delta, delta);
-        std::printf("%-9s %10zu %12s %12s %+7.1f%%\n", name.c_str(),
-                    bytes.size(), pct(image.compressionRatio()).c_str(),
-                    pct(lzw_ratio).c_str(), delta * 100);
+        std::printf("%-9s %10zu %12s %12s %+7.1f%%\n",
+                    suite[i].first.c_str(), row.origBytes,
+                    pct(row.nibbleRatio).c_str(),
+                    pct(row.lzwRatio).c_str(), delta * 100);
     }
     std::printf("paper: nibble ratio 0.5-0.7 (30-50%% reduction), within "
                 "~5 points of Compress; worst delta here: %.1f points\n",

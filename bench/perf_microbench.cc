@@ -4,15 +4,28 @@
  * (paper section 2.1): dictionary decompression is a table lookup while
  * entropy coding pays per-bit work. Measures compressor throughput,
  * stream decode (item scan), and compressed vs native execution rates.
+ *
+ * After the registered benchmarks, main() times one end-to-end
+ * compression of the whole eight-workload suite serially and with the
+ * worker pool, and emits a single machine-readable JSON line
+ * (prefixed "PERF_JSON: ") so the bench trajectory can track the
+ * parallel speedup over time. CODECOMP_JOBS / --jobs control the
+ * parallel leg's worker count.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
 #include "baselines/huffman.hh"
 #include "baselines/lzw.hh"
+#include "compress/candidates.hh"
 #include "compress/compressor.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
+#include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
 using namespace codecomp;
@@ -172,6 +185,82 @@ BM_CompressedExecution(benchmark::State &state)
 }
 BENCHMARK(BM_CompressedExecution)->Arg(0)->Arg(1)->Arg(2);
 
+void
+BM_EnumerateSharded(benchmark::State &state)
+{
+    // Candidate enumeration -- the dictionary-building hot loop --
+    // sharded across the worker pool at the given job count.
+    setGlobalJobs(static_cast<unsigned>(state.range(0)));
+    const Program &program = ijpeg();
+    Cfg cfg = Cfg::build(program);
+    for (auto _ : state) {
+        auto candidates = enumerateCandidates(program, cfg, 1, 4);
+        benchmark::DoNotOptimize(candidates.size());
+    }
+    setGlobalJobs(0);
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            ijpeg().textBytes());
+}
+BENCHMARK(BM_EnumerateSharded)->Arg(1)->Arg(2)->Arg(4);
+
+/** Wall time in ms to compress every suite program at @p jobs. */
+double
+suiteCompressMs(const std::vector<std::pair<std::string, Program>> &suite,
+                unsigned jobs)
+{
+    setGlobalJobs(jobs);
+    auto start = std::chrono::steady_clock::now();
+    std::vector<size_t> sizes = parallelMap<size_t>(
+        suite.size(), [&suite](size_t i) {
+            CompressorConfig config;
+            config.scheme = Scheme::Nibble;
+            config.maxEntries = 4680;
+            return compressProgram(suite[i].second, config).totalBytes();
+        });
+    auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sizes.data());
+    setGlobalJobs(0);
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+void
+reportSuiteSpeedup()
+{
+    std::vector<std::pair<std::string, Program>> suite;
+    for (const std::string &name : workloads::benchmarkNames())
+        suite.emplace_back(name, workloads::buildBenchmark(name));
+
+    unsigned jobs = globalJobs();
+    suiteCompressMs(suite, 1); // warm caches so both legs are steady
+    double serial_ms = suiteCompressMs(suite, 1);
+    double parallel_ms = suiteCompressMs(suite, jobs);
+    std::printf("suite compress (8 workloads, nibble): serial %.1f ms, "
+                "%u jobs %.1f ms, speedup %.2fx\n",
+                serial_ms, jobs, parallel_ms, serial_ms / parallel_ms);
+    std::printf("PERF_JSON: {\"bench\":\"suite_compress_wall\","
+                "\"workloads\":%zu,\"scheme\":\"nibble\","
+                "\"serial_ms\":%.2f,\"parallel_ms\":%.2f,\"jobs\":%u,"
+                "\"speedup\":%.3f}\n",
+                suite.size(), serial_ms, parallel_ms, jobs,
+                serial_ms / parallel_ms);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            int jobs = std::atoi(argv[i + 1]);
+            if (jobs >= 1)
+                setGlobalJobs(static_cast<unsigned>(jobs));
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    reportSuiteSpeedup();
+    return 0;
+}

@@ -17,25 +17,28 @@ using namespace codecomp;
 using namespace codecomp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initJobs(argc, argv);
     banner("Table 2",
            "maximum number of codewords used (baseline, 4 insns/entry)");
     std::printf("%-9s %8s %12s %8s\n", "bench", "insns", "max codewords",
                 "paper");
     const unsigned paper[] = {647, 7927, 3123, 2107, 1104, 1729, 2970,
                               3545};
-    size_t row = 0;
-    for (const auto &[name, program] : buildSuite()) {
-        compress::CompressorConfig config;
-        config.scheme = compress::Scheme::Baseline;
-        config.maxEntries = 8192;
-        config.maxEntryLen = 4;
-        compress::CompressedImage image =
-            compress::compressProgram(program, config);
-        std::printf("%-9s %8zu %12zu %8u\n", name.c_str(),
-                    program.text.size(), image.entriesByRank.size(),
-                    paper[row++]);
-    }
+    auto suite = buildSuite();
+    std::vector<size_t> codewords = parallelMap<size_t>(
+        suite.size(), [&suite](size_t row) {
+            compress::CompressorConfig config;
+            config.scheme = compress::Scheme::Baseline;
+            config.maxEntries = 8192;
+            config.maxEntryLen = 4;
+            return compress::compressProgram(suite[row].second, config)
+                .entriesByRank.size();
+        });
+    for (size_t row = 0; row < suite.size(); ++row)
+        std::printf("%-9s %8zu %12zu %8u\n", suite[row].first.c_str(),
+                    suite[row].second.text.size(), codewords[row],
+                    paper[row]);
     return 0;
 }

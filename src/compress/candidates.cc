@@ -5,32 +5,39 @@
 #include <unordered_map>
 
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace codecomp::compress {
 
-std::vector<bool>
-eligibilityMask(const Program &program)
+namespace {
+
+/** Hash key for one instruction sequence: cheap hashing, no custom
+ *  hasher. */
+std::u32string
+keyOf(const std::vector<isa::Word> &seq)
 {
-    std::vector<bool> eligible(program.text.size());
-    for (size_t i = 0; i < program.text.size(); ++i) {
-        isa::Inst inst = isa::decode(program.text[i]);
-        eligible[i] = !inst.isRelativeBranch();
-    }
-    return eligible;
+    std::u32string key;
+    key.reserve(seq.size());
+    for (isa::Word word : seq)
+        key.push_back(static_cast<char32_t>(word));
+    return key;
 }
 
+/**
+ * Enumerate the candidates of blocks [firstBlock, endBlock) into a
+ * private vector. Within one shard, candidates appear in serial scan
+ * order and each position list is sorted ascending.
+ */
 std::vector<Candidate>
-enumerateCandidates(const Program &program, const Cfg &cfg, uint32_t minLen,
-                    uint32_t maxLen)
+enumerateShard(const Program &program, const std::vector<bool> &eligible,
+               const std::vector<InstRange> &blocks, size_t firstBlock,
+               size_t endBlock, uint32_t minLen, uint32_t maxLen)
 {
-    CC_ASSERT(minLen >= 1 && minLen <= maxLen, "bad candidate lengths");
-    std::vector<bool> eligible = eligibilityMask(program);
-
-    // Key sequences as UTF-32 strings: cheap hashing, no custom hasher.
     std::unordered_map<std::u32string, uint32_t> index;
     std::vector<Candidate> candidates;
 
-    for (const InstRange &block : cfg.blocks()) {
+    for (size_t b = firstBlock; b < endBlock; ++b) {
+        const InstRange &block = blocks[b];
         for (uint32_t start = block.first;
              start < block.first + block.count; ++start) {
             std::u32string key;
@@ -53,36 +60,111 @@ enumerateCandidates(const Program &program, const Cfg &cfg, uint32_t minLen,
             }
         }
     }
-    // Blocks are visited in ascending order, so positions are sorted and
-    // candidate order is already deterministic (first occurrence, then
-    // length, because shorter prefixes insert first).
     return candidates;
+}
+
+/**
+ * Partition blocks into at most @p jobs contiguous shards of roughly
+ * equal instruction count. Shard boundaries fall on block boundaries,
+ * so no candidate is split (sequences never cross blocks).
+ */
+std::vector<std::pair<size_t, size_t>>
+shardBlocks(const std::vector<InstRange> &blocks, unsigned jobs)
+{
+    size_t total = 0;
+    for (const InstRange &block : blocks)
+        total += block.count;
+    std::vector<std::pair<size_t, size_t>> shards;
+    size_t target = (total + jobs - 1) / jobs;
+    size_t begin = 0, weight = 0;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        weight += blocks[b].count;
+        if (weight >= target || b + 1 == blocks.size()) {
+            shards.emplace_back(begin, b + 1);
+            begin = b + 1;
+            weight = 0;
+        }
+    }
+    return shards;
+}
+
+} // namespace
+
+std::vector<bool>
+eligibilityMask(const Program &program)
+{
+    std::vector<bool> eligible(program.text.size());
+    for (size_t i = 0; i < program.text.size(); ++i) {
+        isa::Inst inst = isa::decode(program.text[i]);
+        eligible[i] = !inst.isRelativeBranch();
+    }
+    return eligible;
+}
+
+std::vector<Candidate>
+enumerateCandidates(const Program &program, const Cfg &cfg, uint32_t minLen,
+                    uint32_t maxLen)
+{
+    CC_ASSERT(minLen >= 1 && minLen <= maxLen, "bad candidate lengths");
+    std::vector<bool> eligible = eligibilityMask(program);
+    const std::vector<InstRange> &blocks = cfg.blocks();
+    if (blocks.empty())
+        return {};
+
+    unsigned jobs = static_cast<unsigned>(
+        std::min<size_t>(globalJobs(), blocks.size()));
+    std::vector<std::pair<size_t, size_t>> shards =
+        shardBlocks(blocks, std::max(jobs, 1u));
+
+    std::vector<std::vector<Candidate>> local(shards.size());
+    globalPool().parallelFor(shards.size(), [&](size_t s) {
+        local[s] = enumerateShard(program, eligible, blocks,
+                                  shards[s].first, shards[s].second,
+                                  minLen, maxLen);
+    });
+
+    // Merge shard results in shard order. Shards cover ascending
+    // instruction ranges, so appending position lists in shard order
+    // keeps every candidate's positions sorted.
+    std::unordered_map<std::u32string, uint32_t> index;
+    std::vector<Candidate> merged;
+    for (std::vector<Candidate> &shard : local) {
+        for (Candidate &cand : shard) {
+            auto [it, inserted] = index.try_emplace(
+                keyOf(cand.seq), static_cast<uint32_t>(merged.size()));
+            if (inserted) {
+                merged.push_back(std::move(cand));
+                continue;
+            }
+            std::vector<uint32_t> &positions =
+                merged[it->second].positions;
+            CC_ASSERT(positions.back() < cand.positions.front(),
+                      "shard positions out of order");
+            positions.insert(positions.end(), cand.positions.begin(),
+                             cand.positions.end());
+        }
+    }
+
+    // Restore the serial scan's candidate order -- ascending first
+    // occurrence, then length -- so selection sees an identical input
+    // (and produces identical output) for any job count. (first
+    // occurrence, length) identifies a candidate uniquely, so this
+    // order is total and needs no stable sort.
+    std::sort(merged.begin(), merged.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.positions.front() != b.positions.front())
+                      return a.positions.front() < b.positions.front();
+                  return a.seq.size() < b.seq.size();
+              });
+    return merged;
 }
 
 uint32_t
 countNonOverlapping(const std::vector<uint32_t> &positions, uint32_t length,
                     const std::vector<bool> &consumed)
 {
-    uint32_t count = 0;
-    uint64_t next_free = 0;
-    for (uint32_t pos : positions) {
-        if (pos < next_free)
-            continue;
-        if (!consumed.empty()) {
-            bool blocked = false;
-            for (uint32_t i = pos; i < pos + length; ++i) {
-                if (consumed[i]) {
-                    blocked = true;
-                    break;
-                }
-            }
-            if (blocked)
-                continue;
-        }
-        ++count;
-        next_free = static_cast<uint64_t>(pos) + length;
-    }
-    return count;
+    return forEachNonOverlapping(positions, length, consumed,
+                                 [](uint32_t) {});
 }
 
 } // namespace codecomp::compress

@@ -31,18 +31,62 @@ std::vector<bool> eligibilityMask(const Program &program);
 
 /**
  * Enumerate all candidates with lengths in [minLen, maxLen].
- * Deterministic output order: by first occurrence, then by length.
+ *
+ * Runs sharded across CFG blocks on the global thread pool
+ * (support/thread_pool.hh): each worker hashes the subsequences of a
+ * contiguous block range into a private map, and the shards are merged
+ * with a deterministic order key — first occurrence position, then
+ * length — which is exactly the order a serial left-to-right scan
+ * produces. Output is therefore byte-identical for any job count.
  */
 std::vector<Candidate> enumerateCandidates(const Program &program,
                                            const Cfg &cfg, uint32_t minLen,
                                            uint32_t maxLen);
 
 /**
- * Maximum number of non-overlapping occurrences from a sorted position
- * list for a sequence of @p length, considering only positions where
- * @p live (indexed by instruction) is true for the whole span. Pass an
- * empty mask to treat everything as live.
+ * Walk the maximal set of non-overlapping occurrences from the sorted
+ * position list of a sequence of @p length, skipping any occurrence
+ * whose span touches a true bit of @p consumed (pass an empty mask to
+ * treat everything as live). Calls fn(pos) for each chosen occurrence
+ * and returns how many were chosen.
+ *
+ * This is the single definition of "live occurrences": greedy
+ * acceptance (greedy.cc) and savings re-evaluation
+ * (countNonOverlapping) both walk through here, so the savings cached
+ * in the selection heap can never disagree with the placements that
+ * acceptance actually emits. fn may mark the chosen span in @p
+ * consumed: chosen spans end before the next position considered, so
+ * such marks never affect the remainder of the same walk.
  */
+template <typename Fn>
+uint32_t
+forEachNonOverlapping(const std::vector<uint32_t> &positions, uint32_t length,
+                      const std::vector<bool> &consumed, Fn &&fn)
+{
+    uint32_t count = 0;
+    uint64_t next_free = 0;
+    for (uint32_t pos : positions) {
+        if (pos < next_free)
+            continue;
+        if (!consumed.empty()) {
+            bool blocked = false;
+            for (uint32_t i = pos; i < pos + length; ++i) {
+                if (consumed[i]) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (blocked)
+                continue;
+        }
+        fn(pos);
+        ++count;
+        next_free = static_cast<uint64_t>(pos) + length;
+    }
+    return count;
+}
+
+/** forEachNonOverlapping with no per-occurrence action: just the count. */
 uint32_t countNonOverlapping(const std::vector<uint32_t> &positions,
                              uint32_t length,
                              const std::vector<bool> &consumed);

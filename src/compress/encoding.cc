@@ -1,5 +1,7 @@
 #include "compress/encoding.hh"
 
+#include <array>
+
 #include "isa/isa.hh"
 #include "support/logging.hh"
 
@@ -18,23 +20,52 @@ constexpr uint8_t nibEscape = 15;
 
 /** Escape byte for 5-bit codeword group @p group (0..31): the high six
  *  bits are one of the eight illegal primary opcodes. */
-uint8_t
+constexpr uint8_t
 escapeByte(uint32_t group)
 {
-    CC_ASSERT(group < 32, "escape group out of range");
     uint8_t primop = isa::illegalPrimOps[group / 4];
     return static_cast<uint8_t>((primop << 2) | (group % 4));
 }
 
-/** Inverse of escapeByte: group for a byte, or nullopt if legal. */
-std::optional<uint32_t>
+/** The eight illegal primary opcodes must be pairwise distinct, or two
+ *  escape bytes would alias one group and decode would be ambiguous. */
+constexpr bool
+illegalPrimOpsDistinct()
+{
+    for (size_t i = 0; i < isa::illegalPrimOps.size(); ++i)
+        for (size_t j = i + 1; j < isa::illegalPrimOps.size(); ++j)
+            if (isa::illegalPrimOps[i] == isa::illegalPrimOps[j])
+                return false;
+    return true;
+}
+static_assert(illegalPrimOpsDistinct(),
+              "illegal primary opcodes alias: escape bytes ambiguous");
+
+/** 256-entry inverse of escapeByte: group for a byte, -1 if legal.
+ *  Replaces a linear scan of illegalPrimOps on the per-byte decode hot
+ *  path. */
+constexpr std::array<int8_t, 256>
+buildEscapeGroupTable()
+{
+    std::array<int8_t, 256> table{};
+    for (auto &slot : table)
+        slot = -1;
+    for (uint32_t group = 0; group < 32; ++group)
+        table[escapeByte(group)] = static_cast<int8_t>(group);
+    return table;
+}
+constexpr std::array<int8_t, 256> escapeGroupTable =
+    buildEscapeGroupTable();
+
+/** Group for an escape byte, or nullopt if the byte is a legal opcode
+ *  byte (one table lookup). */
+inline std::optional<uint32_t>
 escapeGroup(uint8_t byte)
 {
-    uint8_t primop = byte >> 2;
-    for (uint32_t i = 0; i < isa::illegalPrimOps.size(); ++i)
-        if (isa::illegalPrimOps[i] == primop)
-            return i * 4 + (byte & 3);
-    return std::nullopt;
+    int8_t group = escapeGroupTable[byte];
+    if (group < 0)
+        return std::nullopt;
+    return static_cast<uint32_t>(group);
 }
 
 } // namespace

@@ -29,32 +29,21 @@ struct HeapLess
     }
 };
 
-/** Consume one accepted candidate: emit placements, mark slots. */
+/** Consume one accepted candidate: emit placements, mark slots. Walks
+ *  the identical forEachNonOverlapping as countNonOverlapping, so the
+ *  savings evaluated before acceptance always match what is placed. */
 void
 accept(const Candidate &cand, uint32_t entry_id, std::vector<bool> &consumed,
        SelectionResult &result)
 {
     uint32_t length = static_cast<uint32_t>(cand.seq.size());
-    uint32_t count = 0;
-    uint64_t next_free = 0;
-    for (uint32_t pos : cand.positions) {
-        if (pos < next_free)
-            continue;
-        bool blocked = false;
-        for (uint32_t i = pos; i < pos + length; ++i) {
-            if (consumed[i]) {
-                blocked = true;
-                break;
-            }
-        }
-        if (blocked)
-            continue;
-        for (uint32_t i = pos; i < pos + length; ++i)
-            consumed[i] = true;
-        result.placements.push_back({pos, length, entry_id});
-        ++count;
-        next_free = static_cast<uint64_t>(pos) + length;
-    }
+    uint32_t count = forEachNonOverlapping(
+        cand.positions, length, consumed,
+        [&](uint32_t pos) {
+            for (uint32_t i = pos; i < pos + length; ++i)
+                consumed[i] = true;
+            result.placements.push_back({pos, length, entry_id});
+        });
     CC_ASSERT(count > 0, "accepted candidate with no live occurrences");
     result.dict.entries.push_back(cand.seq);
     result.useCount.push_back(count);

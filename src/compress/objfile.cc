@@ -147,8 +147,11 @@ loadImage(const std::vector<uint8_t> &bytes)
     image.scheme = static_cast<compress::Scheme>(scheme);
     image.textNibbles = source.get64();
     image.text = source.getBlob();
-    if (image.text.size() * 2 < image.textNibbles)
-        CC_FATAL("nibble count exceeds stream size in .cci file");
+    // The byte blob must match the declared nibble count exactly: at
+    // most one pad nibble (in the last byte's low half). Anything else
+    // would let phantom nibbles reach the decoder.
+    if (image.text.size() != (image.textNibbles + 1) / 2)
+        CC_FATAL("nibble count does not match stream size in .cci file");
 
     uint32_t entries = source.get32();
     if (entries > compress::schemeParams(image.scheme).maxCodewords)

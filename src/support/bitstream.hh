@@ -72,12 +72,17 @@ class NibbleWriter
 class NibbleReader
 {
   public:
+    /**
+     * The nibble count is always explicit. A byte-vector constructor
+     * used to assume bytes.size() * 2 nibbles, which silently granted
+     * odd-length streams a phantom trailing pad nibble -- and a pad
+     * nibble of 0 decodes as a valid rank-0 codeword under
+     * Scheme::Nibble. Producers know their exact count
+     * (NibbleWriter::nibbleCount(), CompressedImage::textNibbles), so
+     * they must pass it.
+     */
     NibbleReader(const uint8_t *data, size_t nibble_count)
         : data_(data), count_(nibble_count)
-    {}
-
-    explicit NibbleReader(const std::vector<uint8_t> &bytes)
-        : data_(bytes.data()), count_(bytes.size() * 2)
     {}
 
     /** Read one nibble at the cursor and advance. */

@@ -11,10 +11,12 @@
 #include "codegen/codegen.hh"
 #include "compress/compressor.hh"
 #include "compress/greedy.hh"
+#include "compress/objfile.hh"
 #include "isa/builder.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
 #include "support/rng.hh"
+#include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
 using namespace codecomp;
@@ -144,6 +146,29 @@ TEST(Greedy, LazyHeapMatchesReference)
     for (uint32_t max_len : {1u, 2u, 4u, 8u}) {
         GreedyConfig config;
         config.maxEntries = 128;
+        config.maxEntryLen = max_len;
+        SelectionResult fast = selectGreedy(program, config);
+        SelectionResult slow = selectGreedyReference(program, config);
+        EXPECT_EQ(fast.dict.entries, slow.dict.entries)
+            << "maxEntryLen=" << max_len;
+        EXPECT_EQ(fast.placements, slow.placements);
+        EXPECT_EQ(fast.useCount, slow.useCount);
+    }
+}
+
+TEST(Greedy, StaleHeapReevaluationMatchesReference)
+{
+    // Dense prefix/suffix overlap between candidates: accepting any
+    // top candidate destroys occurrences of many others, so the heap
+    // repeatedly pops entries with stale cached savings and must
+    // re-evaluate and re-push them. The lazy heap and the from-scratch
+    // reference must still agree exactly, and acceptance (which shares
+    // forEachNonOverlapping with re-evaluation) must never trip the
+    // "no live occurrences" assert.
+    Program program = workloads::buildBenchmark("compress");
+    for (uint32_t max_len : {2u, 4u, 8u}) {
+        GreedyConfig config;
+        config.maxEntries = 48;
         config.maxEntryLen = max_len;
         SelectionResult fast = selectGreedy(program, config);
         SelectionResult slow = selectGreedyReference(program, config);
@@ -342,6 +367,58 @@ TEST(Compressor, MoreCodewordsNeverHurt)
         prev_ratio = image.compressionRatio();
     }
     EXPECT_LT(prev_ratio, 0.85); // meaningful compression at 8192
+}
+
+// ---------------- parallel determinism ----------------
+
+TEST(Candidates, EnumerationIdenticalAcrossJobCounts)
+{
+    Program program = workloads::buildBenchmark("compress");
+    Cfg cfg = Cfg::build(program);
+    setGlobalJobs(1);
+    auto serial = enumerateCandidates(program, cfg, 1, 4);
+    for (unsigned jobs : {2u, 3u, 8u}) {
+        setGlobalJobs(jobs);
+        auto parallel = enumerateCandidates(program, cfg, 1, 4);
+        ASSERT_EQ(parallel.size(), serial.size()) << "jobs " << jobs;
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i].seq, serial[i].seq)
+                << "jobs " << jobs << " candidate " << i;
+            EXPECT_EQ(parallel[i].positions, serial[i].positions)
+                << "jobs " << jobs << " candidate " << i;
+        }
+    }
+    setGlobalJobs(0);
+}
+
+TEST(Compressor, ImageBitIdenticalAcrossJobCounts)
+{
+    // The determinism contract of the parallel pipeline: for every
+    // scheme, --jobs 1/2/8 must produce byte-for-byte identical
+    // compressed images, down to the serialized .cci file.
+    Program program = workloads::buildBenchmark("li");
+    for (Scheme scheme :
+         {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+        CompressorConfig config;
+        config.scheme = scheme;
+        setGlobalJobs(1);
+        CompressedImage serial = compressProgram(program, config);
+        std::vector<uint8_t> serialBytes = saveImage(serial);
+        for (unsigned jobs : {2u, 8u}) {
+            setGlobalJobs(jobs);
+            CompressedImage parallel = compressProgram(program, config);
+            EXPECT_EQ(parallel.text, serial.text)
+                << schemeName(scheme) << " jobs " << jobs;
+            EXPECT_EQ(parallel.textNibbles, serial.textNibbles);
+            EXPECT_EQ(parallel.entriesByRank, serial.entriesByRank);
+            EXPECT_EQ(parallel.data, serial.data);
+            EXPECT_EQ(parallel.entryPointNibble,
+                      serial.entryPointNibble);
+            EXPECT_EQ(saveImage(parallel), serialBytes)
+                << schemeName(scheme) << " jobs " << jobs;
+        }
+    }
+    setGlobalJobs(0);
 }
 
 /** Every benchmark x every scheme: compressed execution must match. */

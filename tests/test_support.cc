@@ -1,14 +1,18 @@
 /**
  * @file
  * Tests for the support substrate: nibble/bit stream writers and
- * readers (the carrier of every compressed program) and the
- * deterministic RNG.
+ * readers (the carrier of every compressed program), the worker pool
+ * behind every parallel stage, and the deterministic RNG.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "support/bitstream.hh"
 #include "support/rng.hh"
+#include "support/thread_pool.hh"
 
 using namespace codecomp;
 
@@ -118,6 +122,94 @@ TEST_P(StreamProperty, RandomChunksRoundTrip)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamProperty,
                          ::testing::Values(1, 7, 99, 12345));
+
+// ---------------- thread pool ----------------
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        constexpr size_t n = 10000;
+        std::vector<std::atomic<int>> visits(n);
+        pool.parallelFor(n, [&visits](size_t i) { visits[i]++; });
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(visits[i].load(), 1) << "threads " << threads
+                                           << " index " << i;
+    }
+}
+
+TEST(ThreadPool, RunBatchExecutesAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 1; i <= 100; ++i)
+        tasks.push_back([&sum, i] { sum += i; });
+    pool.runBatch(std::move(tasks));
+    EXPECT_EQ(sum.load(), 5050);
+    pool.runBatch({}); // empty batch is a no-op
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 100; ++i)
+        tasks.push_back([&completed, i] {
+            if (i == 37)
+                throw std::runtime_error("task 37");
+            completed++;
+        });
+    EXPECT_THROW(pool.runBatch(std::move(tasks)), std::runtime_error);
+    // Every other task in the batch still ran to completion.
+    EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     8, [](size_t) { throw std::runtime_error("x"); }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallelFor(64, [&count](size_t) { count++; });
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    // A parallel stage may itself invoke a parallel stage (suite
+    // fan-out -> per-program candidate sharding); the inner one must
+    // run inline rather than deadlocking on the busy pool.
+    setGlobalJobs(4);
+    std::atomic<int> inner{0};
+    globalPool().parallelFor(8, [&inner](size_t) {
+        globalPool().parallelFor(16, [&inner](size_t) { inner++; });
+    });
+    EXPECT_EQ(inner.load(), 8 * 16);
+    setGlobalJobs(0);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    setGlobalJobs(4);
+    std::vector<int> squares = parallelMap<int>(
+        500, [](size_t i) { return static_cast<int>(i * i); });
+    for (size_t i = 0; i < squares.size(); ++i)
+        ASSERT_EQ(squares[i], static_cast<int>(i * i));
+    setGlobalJobs(0);
+}
+
+TEST(ThreadPool, JobsKnobPriorities)
+{
+    // setGlobalJobs overrides everything; 0 restores the default,
+    // which is at least 1 whatever the environment says.
+    setGlobalJobs(3);
+    EXPECT_EQ(globalJobs(), 3u);
+    setGlobalJobs(0);
+    EXPECT_GE(globalJobs(), 1u);
+}
 
 TEST(Rng, DeterministicAcrossInstances)
 {

@@ -1,19 +1,28 @@
 /**
  * @file
- * ccompress -- compress a linked .ccp program into a .cci image.
+ * ccompress -- compress linked .ccp programs into .cci images.
  *
  *   ccompress prog.ccp -o prog.cci [--scheme baseline|onebyte|nibble]
- *             [--max-entries N] [--max-len N] [--stats]
+ *             [--max-entries N] [--max-len N] [--jobs N] [--stats]
+ *   ccompress a.ccp b.ccp ... -o outdir/ [options]
+ *
+ * With several inputs the output names an existing directory (or a
+ * path ending in '/'), each program is written there as <stem>.cci,
+ * and the compressions run concurrently on the worker pool. --jobs N
+ * (default: CODECOMP_JOBS, then hardware_concurrency) caps the pool;
+ * the compressed bytes are identical for every job count.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/analysis.hh"
 #include "compress/compressor.hh"
 #include "compress/objfile.hh"
 #include "support/serialize.hh"
+#include "support/thread_pool.hh"
 
 using namespace codecomp;
 
@@ -23,10 +32,69 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: ccompress <in.ccp> -o <out.cci> "
+                 "usage: ccompress <in.ccp>... -o <out.cci | outdir/> "
                  "[--scheme baseline|onebyte|nibble] [--max-entries N] "
-                 "[--max-len N] [--stats]\n");
+                 "[--max-len N] [--jobs N] [--stats]\n");
     return 2;
+}
+
+/** "dir/prog.ccp" -> "prog". */
+std::string
+stemOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = name.find_last_of('.');
+    return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+/** Report for one input, assembled off-thread, printed in order. */
+struct CompressReport
+{
+    std::string text;
+    bool failed = false;
+};
+
+void
+appendSummary(CompressReport &report, const std::string &input,
+              const std::string &output,
+              const compress::CompressedImage &image, bool stats)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: %u -> %zu bytes (text %zu + dict %zu), ratio "
+                  "%.1f%%, %zu codewords, %u far-branch stubs -> %s\n",
+                  input.c_str(), image.originalTextBytes,
+                  image.totalBytes(), image.compressedTextBytes(),
+                  image.dictionaryBytes(), image.compressionRatio() * 100,
+                  image.entriesByRank.size(), image.farBranchExpansions,
+                  output.c_str());
+    report.text += buf;
+    if (!stats)
+        return;
+    const compress::Composition &comp = image.composition;
+    double total = static_cast<double>(comp.totalNibbles());
+    std::snprintf(buf, sizeof(buf),
+                  "composition: insns %.1f%%, codewords %.1f%%, "
+                  "escapes %.1f%%, dictionary %.1f%%\n",
+                  100 * comp.insnNibbles / total,
+                  100 * comp.codewordNibbles / total,
+                  100 * comp.escapeNibbles / total,
+                  100 * comp.dictNibbles / total);
+    report.text += buf;
+    analysis::DictionaryUsage usage =
+        analysis::analyzeDictionaryUsage(image);
+    for (const auto &[len, count] : usage.entriesByLength) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %u-instruction entries: %u (%.1f%% of savings)\n", len,
+            count,
+            100.0 *
+                static_cast<double>(usage.bytesSavedByLength.at(len)) /
+                static_cast<double>(usage.totalBytesSaved));
+        report.text += buf;
+    }
 }
 
 } // namespace
@@ -34,7 +102,7 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string input;
+    std::vector<std::string> inputs;
     std::string output;
     bool stats = false;
     compress::CompressorConfig config;
@@ -61,53 +129,58 @@ main(int argc, char **argv)
         } else if (arg == "--max-len" && i + 1 < argc) {
             config.maxEntryLen =
                 static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            int jobs = std::atoi(argv[++i]);
+            if (jobs < 1)
+                return usage();
+            setGlobalJobs(static_cast<unsigned>(jobs));
         } else if (arg == "--stats") {
             stats = true;
         } else if (!arg.empty() && arg[0] != '-') {
-            input = arg;
+            inputs.push_back(arg);
         } else {
             return usage();
         }
     }
-    if (input.empty() || output.empty())
+    if (inputs.empty() || output.empty())
         return usage();
-
-    try {
-        Program program = loadProgram(readFile(input));
-        compress::CompressedImage image =
-            compress::compressProgram(program, config);
-        writeFile(output, saveImage(image));
-        std::printf("%s: %u -> %zu bytes (text %zu + dict %zu), ratio "
-                    "%.1f%%, %zu codewords, %u far-branch stubs -> %s\n",
-                    input.c_str(), image.originalTextBytes,
-                    image.totalBytes(), image.compressedTextBytes(),
-                    image.dictionaryBytes(),
-                    image.compressionRatio() * 100,
-                    image.entriesByRank.size(),
-                    image.farBranchExpansions, output.c_str());
-        if (stats) {
-            const compress::Composition &comp = image.composition;
-            double total = static_cast<double>(comp.totalNibbles());
-            std::printf("composition: insns %.1f%%, codewords %.1f%%, "
-                        "escapes %.1f%%, dictionary %.1f%%\n",
-                        100 * comp.insnNibbles / total,
-                        100 * comp.codewordNibbles / total,
-                        100 * comp.escapeNibbles / total,
-                        100 * comp.dictNibbles / total);
-            analysis::DictionaryUsage usage =
-                analysis::analyzeDictionaryUsage(image);
-            for (const auto &[len, count] : usage.entriesByLength)
-                std::printf("  %u-instruction entries: %u (%.1f%% of "
-                            "savings)\n",
-                            len, count,
-                            100.0 * static_cast<double>(
-                                usage.bytesSavedByLength.at(len)) /
-                                static_cast<double>(
-                                    usage.totalBytesSaved));
-        }
-    } catch (const std::exception &error) {
-        std::fprintf(stderr, "ccompress: %s\n", error.what());
-        return 1;
+    bool outdir = output.back() == '/';
+    if (inputs.size() > 1 && !outdir) {
+        std::fprintf(stderr,
+                     "ccompress: several inputs need a directory "
+                     "output (end it with '/')\n");
+        return 2;
     }
-    return 0;
+
+    // Each input is an independent compress; fan the batch out across
+    // the pool and print reports in input order.
+    std::vector<CompressReport> reports = parallelMap<CompressReport>(
+        inputs.size(), [&](size_t i) {
+            const std::string &input = inputs[i];
+            std::string out = outdir
+                                  ? output + stemOf(input) + ".cci"
+                                  : output;
+            CompressReport report;
+            try {
+                Program program = loadProgram(readFile(input));
+                compress::CompressedImage image =
+                    compress::compressProgram(program, config);
+                writeFile(out, saveImage(image));
+                appendSummary(report, input, out, image, stats);
+            } catch (const std::exception &error) {
+                report.text = std::string("ccompress: ") + input + ": " +
+                              error.what() + "\n";
+                report.failed = true;
+            }
+            return report;
+        });
+
+    int status = 0;
+    for (const CompressReport &report : reports) {
+        std::fputs(report.text.c_str(),
+                   report.failed ? stderr : stdout);
+        if (report.failed)
+            status = 1;
+    }
+    return status;
 }
