@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
 #include "baselines/huffman.hh"
 #include "baselines/lzw.hh"
@@ -123,6 +124,70 @@ BM_FetchExpand(benchmark::State &state)
                             static_cast<int64_t>(insns));
 }
 BENCHMARK(BM_FetchExpand)->Arg(0)->Arg(1)->Arg(2);
+
+/** Item start addresses in a deterministically shuffled (branchy) order. */
+std::vector<uint32_t>
+shuffledItemAddrs(const DecompressionEngine &engine)
+{
+    std::vector<uint32_t> addrs;
+    for (const DecodedItem &item : engine.items())
+        addrs.push_back(item.nibbleAddr);
+    uint64_t lcg = 88172645463325252ull;
+    for (size_t i = addrs.size(); i > 1; --i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        std::swap(addrs[i - 1], addrs[(lcg >> 33) % i]);
+    }
+    return addrs;
+}
+
+void
+BM_ItemLookupDense(benchmark::State &state)
+{
+    // The engine's dense nibble->index table: the per-fetch lookup on
+    // the compressed processor's hottest path.
+    CompressorConfig config;
+    config.scheme = Scheme::Nibble;
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+    DecompressionEngine engine(image);
+    std::vector<uint32_t> addrs = shuffledItemAddrs(engine);
+    for (auto _ : state) {
+        uint64_t sink = 0;
+        for (uint32_t addr : addrs)
+            sink += engine.itemIndexAt(addr);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(addrs.size()));
+}
+BENCHMARK(BM_ItemLookupDense);
+
+void
+BM_ItemLookupHashMap(benchmark::State &state)
+{
+    // Reference point: the unordered_map the engine used before the
+    // dense table, rebuilt here so the two structures answer the same
+    // queries over the same stream.
+    CompressorConfig config;
+    config.scheme = Scheme::Nibble;
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+    DecompressionEngine engine(image);
+    std::unordered_map<uint32_t, uint32_t> by_addr;
+    const std::vector<DecodedItem> &items = engine.items();
+    for (uint32_t i = 0; i < items.size(); ++i)
+        by_addr.emplace(items[i].nibbleAddr, i);
+    std::vector<uint32_t> addrs = shuffledItemAddrs(engine);
+    for (auto _ : state) {
+        uint64_t sink = 0;
+        for (uint32_t addr : addrs)
+            sink += by_addr.at(addr);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(addrs.size()));
+}
+BENCHMARK(BM_ItemLookupHashMap);
 
 void
 BM_HuffmanDecodeSameText(benchmark::State &state)
@@ -246,6 +311,51 @@ reportSuiteSpeedup()
                 serial_ms / parallel_ms);
 }
 
+void
+reportItemLookup()
+{
+    // One PERF_JSON line pinning the itemAt fast path: dense
+    // nibble->index table vs the hash map it replaced, same shuffled
+    // query stream.
+    CompressorConfig config;
+    config.scheme = Scheme::Nibble;
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+    DecompressionEngine engine(image);
+    std::unordered_map<uint32_t, uint32_t> by_addr;
+    const std::vector<DecodedItem> &items = engine.items();
+    for (uint32_t i = 0; i < items.size(); ++i)
+        by_addr.emplace(items[i].nibbleAddr, i);
+    std::vector<uint32_t> addrs = shuffledItemAddrs(engine);
+
+    constexpr int rounds = 200;
+    auto time_ns_per_lookup = [&addrs](auto &&lookup) {
+        uint64_t sink = 0;
+        for (uint32_t addr : addrs) // warm
+            sink += lookup(addr);
+        auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < rounds; ++r)
+            for (uint32_t addr : addrs)
+                sink += lookup(addr);
+        auto end = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(sink);
+        return std::chrono::duration<double, std::nano>(end - start)
+                   .count() /
+               (static_cast<double>(rounds) * addrs.size());
+    };
+    double dense_ns = time_ns_per_lookup(
+        [&engine](uint32_t addr) { return engine.itemIndexAt(addr); });
+    double hash_ns = time_ns_per_lookup(
+        [&by_addr](uint32_t addr) { return by_addr.at(addr); });
+    std::printf("item lookup (%zu items, shuffled): dense %.2f ns, "
+                "hash map %.2f ns, speedup %.2fx\n",
+                addrs.size(), dense_ns, hash_ns, hash_ns / dense_ns);
+    std::printf("PERF_JSON: {\"bench\":\"item_lookup\","
+                "\"items\":%zu,\"dense_ns\":%.3f,\"hash_ns\":%.3f,"
+                "\"speedup\":%.3f}\n",
+                addrs.size(), dense_ns, hash_ns, hash_ns / dense_ns);
+}
+
 } // namespace
 
 int
@@ -261,6 +371,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    reportItemLookup();
     reportSuiteSpeedup();
     return 0;
 }

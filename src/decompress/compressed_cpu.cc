@@ -67,29 +67,47 @@ CompressedCpu::step()
 
     if (item.isCodeword) {
         ++stats_.codewordFetches;
-        for (isa::Word word : engine_.entry(item.rank)) {
-            isa::Inst inst = isa::decode(word);
+        const std::vector<isa::Word> &entry = engine_.entry(item.rank);
+        for (unsigned slot = 0; slot < entry.size(); ++slot) {
+            // The budget is per expanded architectural instruction, not
+            // per fetch slot: a multi-instruction dictionary entry must
+            // not overshoot a limit that falls mid-expansion.
+            if (inst_count_ >= step_limit_)
+                CC_FATAL("compressed program exceeded ", step_limit_,
+                         " steps");
+            isa::Inst inst = isa::decode(entry[slot]);
             ++inst_count_;
             ++stats_.expandedInsts;
             CC_ASSERT(!inst.isRelativeBranch(),
                       "relative branch inside a dictionary entry");
             if (inst.isBranch()) {
                 execBranch(inst, next_pc, self_pc);
+                if (retire_hook_)
+                    retire_hook_(inst, self_pc, slot);
                 if (redirected_)
                     break;
             } else {
                 machine_.execute(inst);
+                if (retire_hook_)
+                    retire_hook_(inst, self_pc, slot);
                 if (machine_.halted())
                     return false;
             }
         }
     } else {
+        if (inst_count_ >= step_limit_)
+            CC_FATAL("compressed program exceeded ", step_limit_,
+                     " steps");
         isa::Inst inst = isa::decode(item.word);
         ++inst_count_;
         if (inst.isBranch()) {
             execBranch(inst, next_pc, self_pc);
+            if (retire_hook_)
+                retire_hook_(inst, self_pc, 0);
         } else {
             machine_.execute(inst);
+            if (retire_hook_)
+                retire_hook_(inst, self_pc, 0);
             if (machine_.halted())
                 return false;
         }
@@ -102,11 +120,13 @@ CompressedCpu::step()
 ExecResult
 CompressedCpu::run(uint64_t max_steps)
 {
-    while (!machine_.halted()) {
-        if (inst_count_ >= max_steps)
-            CC_FATAL("compressed program exceeded ", max_steps, " steps");
+    // The limit is enforced inside step() before every expanded
+    // instruction; checking between items here would let a
+    // multi-instruction dictionary entry overshoot the budget.
+    step_limit_ = max_steps;
+    while (!machine_.halted())
         step();
-    }
+    step_limit_ = UINT64_MAX;
     return {machine_.output(), machine_.exitCode(), inst_count_};
 }
 

@@ -38,6 +38,8 @@ class CompressedCpu
     bool step();
 
     const Machine &machine() const { return machine_; }
+    /** Mutable access for harnesses that install Machine hooks. */
+    Machine &machine() { return machine_; }
     const FetchStats &fetchStats() const { return stats_; }
     uint32_t pc() const { return pc_; }
 
@@ -45,6 +47,20 @@ class CompressedCpu
      *  compressed image (nibble addresses round outward to bytes). */
     using FetchHook = std::function<void(uint32_t addr, uint32_t bytes)>;
     void setFetchHook(FetchHook hook) { fetch_hook_ = std::move(hook); }
+
+    /**
+     * Observe every retired architectural instruction: the decoded
+     * instruction, the absolute nibble PC of the item it came from, and
+     * its slot within that item (0 for uncompressed instructions,
+     * 0..n-1 through a dictionary-entry expansion). Fires after the
+     * instruction's effects land, including the halting Sc.
+     */
+    using RetireHook = std::function<void(const isa::Inst &inst,
+                                          uint32_t item_pc, unsigned slot)>;
+    void setRetireHook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
+    const DecompressionEngine &engine() const { return engine_; }
+    uint64_t instCount() const { return inst_count_; }
 
   private:
     /** Shared branch handling; @p next_pc is the fall-through pointer. */
@@ -58,8 +74,10 @@ class CompressedCpu
     uint32_t pc_;
     bool redirected_ = false;
     uint64_t inst_count_ = 0;
+    uint64_t step_limit_ = UINT64_MAX; //!< budget per expanded inst
     FetchStats stats_;
     FetchHook fetch_hook_;
+    RetireHook retire_hook_;
 };
 
 /** Convenience: run a compressed image to completion. */

@@ -76,13 +76,24 @@ Cpu::step()
         target = inst.aa ? static_cast<uint32_t>(inst.disp) * 4
                          : pc_ + static_cast<uint32_t>(inst.disp) * 4;
         break;
+      // Indirect targets are used raw, not masked to word alignment:
+      // the CompressedCpu cannot mask (its nibble-granular code pointers
+      // are legitimately odd), so masking here would hide on the native
+      // side exactly the corrupt-LR/CTR bugs a lockstep comparison
+      // exists to catch. The invariant is that code pointers entering
+      // LR/CTR are always 4-byte aligned in the native space; assert it
+      // instead of silently repairing a violation.
       case isa::Op::Bclr:
         taken = machine_.evalCond(inst.bo, inst.bi);
-        target = machine_.lr() & ~3u;
+        target = machine_.lr();
+        CC_ASSERT((target & 3u) == 0,
+                  "misaligned LR as branch target: ", target);
         break;
       case isa::Op::Bcctr:
         taken = machine_.evalCond(inst.bo, inst.bi);
-        target = machine_.ctr() & ~3u;
+        target = machine_.ctr();
+        CC_ASSERT((target & 3u) == 0,
+                  "misaligned CTR as branch target: ", target);
         break;
       default:
         CC_PANIC("unexpected branch op");

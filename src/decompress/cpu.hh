@@ -33,7 +33,10 @@ class Cpu
     bool step();
 
     const Machine &machine() const { return machine_; }
+    /** Mutable access for harnesses that install Machine hooks. */
+    Machine &machine() { return machine_; }
     uint32_t pc() const { return pc_; }
+    uint64_t instCount() const { return inst_count_; }
 
     /** Observe every fetch (byte address + size); drives cache models. */
     using FetchHook = std::function<void(uint32_t addr, uint32_t bytes)>;

@@ -1,13 +1,12 @@
 #include "decompress/engine.hh"
 
-#include "support/logging.hh"
-
 namespace codecomp {
 
 DecompressionEngine::DecompressionEngine(
     const compress::CompressedImage &image)
     : image_(image)
 {
+    indexByAddr_.assign(image.textNibbles, noItem);
     NibbleReader reader(image.text.data(), image.textNibbles);
     while (!reader.atEnd()) {
         DecodedItem item;
@@ -24,19 +23,10 @@ DecompressionEngine::DecompressionEngine(
         }
         item.nibbles =
             static_cast<uint8_t>(reader.pos() - item.nibbleAddr);
-        byAddr_.emplace(item.nibbleAddr,
-                        static_cast<uint32_t>(items_.size()));
+        indexByAddr_[item.nibbleAddr] =
+            static_cast<uint32_t>(items_.size());
         items_.push_back(item);
     }
-}
-
-const DecodedItem &
-DecompressionEngine::itemAt(uint32_t nibble_addr) const
-{
-    auto it = byAddr_.find(nibble_addr);
-    CC_ASSERT(it != byAddr_.end(),
-              "fetch from mid-item compressed address ", nibble_addr);
-    return items_[it->second];
 }
 
 } // namespace codecomp

@@ -15,10 +15,10 @@
 #ifndef CODECOMP_DECOMPRESS_ENGINE_HH
 #define CODECOMP_DECOMPRESS_ENGINE_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "compress/image.hh"
+#include "support/logging.hh"
 
 namespace codecomp {
 
@@ -40,7 +40,28 @@ class DecompressionEngine
     /** Item starting at compressed-text nibble offset @p nibble_addr;
      *  panics if the address is not an item boundary (a real processor
      *  would fetch garbage -- our programs never do this). */
-    const DecodedItem &itemAt(uint32_t nibble_addr) const;
+    const DecodedItem &
+    itemAt(uint32_t nibble_addr) const
+    {
+        return items_[itemIndexAt(nibble_addr)];
+    }
+
+    /**
+     * Index into items() of the item starting at @p nibble_addr. This is
+     * the fetch-stage hot path: a dense per-nibble table makes it a
+     * single indexed load, with no hashing on the hottest loop.
+     */
+    uint32_t
+    itemIndexAt(uint32_t nibble_addr) const
+    {
+        CC_ASSERT(nibble_addr < indexByAddr_.size(),
+                  "fetch beyond compressed text: nibble ", nibble_addr);
+        uint32_t index = indexByAddr_[nibble_addr];
+        CC_ASSERT(index != noItem,
+                  "fetch from mid-item compressed address: nibble ",
+                  nibble_addr);
+        return index;
+    }
 
     /** Dictionary entry for codeword rank @p rank. */
     const std::vector<isa::Word> &
@@ -53,9 +74,12 @@ class DecompressionEngine
     const compress::CompressedImage &image() const { return image_; }
 
   private:
+    /** indexByAddr_ sentinel for nibbles inside (not starting) an item. */
+    static constexpr uint32_t noItem = UINT32_MAX;
+
     const compress::CompressedImage &image_;
     std::vector<DecodedItem> items_;
-    std::unordered_map<uint32_t, uint32_t> byAddr_;
+    std::vector<uint32_t> indexByAddr_; //!< nibble addr -> items_ index
 };
 
 } // namespace codecomp

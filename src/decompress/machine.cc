@@ -12,7 +12,9 @@ Machine::Machine() : mem_(memBytes, 0)
 uint32_t
 Machine::loadWord(uint32_t addr) const
 {
-    CC_ASSERT(addr + 4 <= memBytes, "load word out of range: ", addr);
+    // Compare without addr + 4, which wraps for addresses near 2^32 and
+    // would let a wild access through the check.
+    CC_ASSERT(addr <= memBytes - 4, "load word out of range: ", addr);
     return (static_cast<uint32_t>(mem_[addr]) << 24) |
            (static_cast<uint32_t>(mem_[addr + 1]) << 16) |
            (static_cast<uint32_t>(mem_[addr + 2]) << 8) |
@@ -22,7 +24,7 @@ Machine::loadWord(uint32_t addr) const
 uint16_t
 Machine::loadHalf(uint32_t addr) const
 {
-    CC_ASSERT(addr + 2 <= memBytes, "load half out of range: ", addr);
+    CC_ASSERT(addr <= memBytes - 2, "load half out of range: ", addr);
     return static_cast<uint16_t>((mem_[addr] << 8) | mem_[addr + 1]);
 }
 
@@ -36,19 +38,23 @@ Machine::loadByte(uint32_t addr) const
 void
 Machine::storeWord(uint32_t addr, uint32_t value)
 {
-    CC_ASSERT(addr + 4 <= memBytes, "store word out of range: ", addr);
+    CC_ASSERT(addr <= memBytes - 4, "store word out of range: ", addr);
     mem_[addr] = static_cast<uint8_t>(value >> 24);
     mem_[addr + 1] = static_cast<uint8_t>(value >> 16);
     mem_[addr + 2] = static_cast<uint8_t>(value >> 8);
     mem_[addr + 3] = static_cast<uint8_t>(value);
+    if (store_hook_)
+        store_hook_(addr, 4, value);
 }
 
 void
 Machine::storeHalf(uint32_t addr, uint16_t value)
 {
-    CC_ASSERT(addr + 2 <= memBytes, "store half out of range: ", addr);
+    CC_ASSERT(addr <= memBytes - 2, "store half out of range: ", addr);
     mem_[addr] = static_cast<uint8_t>(value >> 8);
     mem_[addr + 1] = static_cast<uint8_t>(value);
+    if (store_hook_)
+        store_hook_(addr, 2, value);
 }
 
 void
@@ -56,6 +62,8 @@ Machine::storeByte(uint32_t addr, uint8_t value)
 {
     CC_ASSERT(addr < memBytes, "store byte out of range: ", addr);
     mem_[addr] = value;
+    if (store_hook_)
+        store_hook_(addr, 1, value);
 }
 
 void
@@ -297,23 +305,42 @@ Machine::execute(const isa::Inst &inst)
     }
 }
 
+namespace {
+
+constexpr uint64_t fnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t fnvPrime = 0x100000001b3ull;
+
+uint64_t
+fnvMix(uint64_t h, uint8_t byte)
+{
+    return (h ^ byte) * fnvPrime;
+}
+
+} // namespace
+
 uint64_t
 Machine::stateHash() const
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    auto mix = [&h](uint8_t byte) {
-        h ^= byte;
-        h *= 0x100000001b3ull;
-    };
+    uint64_t h = fnvOffset;
     for (uint32_t r : gpr_)
         for (int i = 0; i < 4; ++i)
-            mix(static_cast<uint8_t>(r >> (8 * i)));
+            h = fnvMix(h, static_cast<uint8_t>(r >> (8 * i)));
     for (int i = 0; i < 4; ++i)
-        mix(static_cast<uint8_t>(cr_ >> (8 * i)));
+        h = fnvMix(h, static_cast<uint8_t>(cr_ >> (8 * i)));
     // Note: LR/CTR are deliberately excluded -- they hold code pointers,
     // which legitimately differ between address spaces.
     for (uint8_t byte : mem_)
-        mix(byte);
+        h = fnvMix(h, byte);
+    return h;
+}
+
+uint64_t
+Machine::memHash(uint32_t begin, uint32_t end) const
+{
+    CC_ASSERT(begin <= end && end <= memBytes, "bad memHash range");
+    uint64_t h = fnvOffset;
+    for (uint32_t addr = begin; addr < end; ++addr)
+        h = fnvMix(h, mem_[addr]);
     return h;
 }
 

@@ -13,6 +13,7 @@
 #define CODECOMP_DECOMPRESS_MACHINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -80,8 +81,24 @@ class Machine
     int32_t exitCode() const { return exit_code_; }
     const std::string &output() const { return output_; }
 
+    /**
+     * Observe every architectural store (address, size in bytes, value).
+     * Called after the bytes land in memory; loadImage is not a store.
+     * The lockstep verifier uses this to compare the write streams of
+     * the two processors instruction by instruction.
+     */
+    using StoreHook = std::function<void(uint32_t addr, unsigned bytes,
+                                         uint32_t value)>;
+    void setStoreHook(StoreHook hook) { store_hook_ = std::move(hook); }
+
+    /** Read-only view of the flat memory (differential state walks). */
+    const std::vector<uint8_t> &memory() const { return mem_; }
+
     /** FNV-1a hash of registers + memory; used by equivalence tests. */
     uint64_t stateHash() const;
+
+    /** FNV-1a hash of the memory bytes in [@p begin, @p end) only. */
+    uint64_t memHash(uint32_t begin, uint32_t end) const;
 
   private:
     /** Set condition-register field @p crf from a three-way compare. */
@@ -97,6 +114,7 @@ class Machine
     bool halted_ = false;
     int32_t exit_code_ = 0;
     std::string output_;
+    StoreHook store_hook_;
 };
 
 } // namespace codecomp

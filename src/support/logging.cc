@@ -3,11 +3,31 @@
 #include <stdexcept>
 
 namespace codecomp {
+
+namespace {
+
+thread_local bool panic_trap_active = false;
+
+} // namespace
+
+PanicTrap::PanicTrap() : prev_(panic_trap_active)
+{
+    panic_trap_active = true;
+}
+
+PanicTrap::~PanicTrap()
+{
+    panic_trap_active = prev_;
+}
+
 namespace detail {
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (panic_trap_active)
+        throw PanicError(std::string("panic: ") + msg + " (" + file + ":" +
+                         std::to_string(line) + ")");
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }

@@ -15,9 +15,40 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace codecomp {
+
+/** Thrown instead of aborting when a PanicTrap is active (see below). */
+class PanicError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII scope that converts CC_PANIC / CC_ASSERT failures on the current
+ * thread into PanicError exceptions instead of aborting the process.
+ *
+ * The lockstep verifier runs deliberately-corrupted images whose
+ * execution may trip internal invariants (mid-item fetches, out-of-range
+ * memory accesses); trapping the panic lets the harness report the crash
+ * as a divergence with full context instead of dying. Outside a trap
+ * scope panics abort as usual, so death tests and production invariants
+ * are unaffected. Traps nest.
+ */
+class PanicTrap
+{
+  public:
+    PanicTrap();
+    ~PanicTrap();
+    PanicTrap(const PanicTrap &) = delete;
+    PanicTrap &operator=(const PanicTrap &) = delete;
+
+  private:
+    bool prev_;
+};
 
 namespace detail {
 

@@ -1,0 +1,342 @@
+#include "verify/fault.hh"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "decompress/compressed_cpu.hh"
+#include "decompress/engine.hh"
+#include "isa/disasm.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace codecomp::verify {
+
+namespace {
+
+constexpr uint32_t noIndex = UINT32_MAX;
+
+std::string
+hex32(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
+}
+
+/** Execution profile of a pristine image: which item boundaries ran,
+ *  and which items ever redirected control (taken branches). */
+struct Profile
+{
+    std::vector<uint32_t> executed;   //!< sorted item nibble offsets
+    std::vector<uint32_t> redirected; //!< sorted; subset of executed
+};
+
+Profile
+profileRun(const compress::CompressedImage &image, uint64_t max_steps)
+{
+    CompressedCpu cpu(image);
+    const DecompressionEngine &engine = cpu.engine();
+    std::set<uint32_t> executed, redirected;
+    uint32_t prev_addr = noIndex, prev_next = 0;
+    uint64_t steps = 0;
+    while (!cpu.machine().halted() && steps++ < max_steps) {
+        uint32_t pc_nibble =
+            cpu.pc() - compress::CompressedImage::nibbleBase;
+        executed.insert(pc_nibble);
+        if (prev_addr != noIndex && pc_nibble != prev_next)
+            redirected.insert(prev_addr);
+        const DecodedItem &item = engine.itemAt(pc_nibble);
+        prev_addr = pc_nibble;
+        prev_next = pc_nibble + item.nibbles;
+        cpu.step();
+    }
+    CC_ASSERT(cpu.machine().halted(),
+              "fault-injection profiling run did not terminate");
+    Profile profile;
+    profile.executed.assign(executed.begin(), executed.end());
+    profile.redirected.assign(redirected.begin(), redirected.end());
+    return profile;
+}
+
+/** Per-item original-index map and stub membership, as in the lockstep
+ *  verifier: unmapped items are far-branch stub continuations and the
+ *  mapped item before such a run is the (synthetic) stub head. */
+void
+classifyItems(const DecompressionEngine &engine,
+              const compress::CompressedImage &image,
+              std::vector<uint32_t> &orig_of, std::vector<bool> &is_stub)
+{
+    const std::vector<DecodedItem> &items = engine.items();
+    orig_of.assign(items.size(), noIndex);
+    for (const auto &[orig, nibble] : image.addrMap)
+        orig_of[engine.itemIndexAt(nibble)] = orig;
+    is_stub.assign(items.size(), false);
+    uint32_t head = noIndex;
+    for (uint32_t i = 0; i < items.size(); ++i) {
+        if (orig_of[i] != noIndex) {
+            head = i;
+        } else {
+            is_stub[i] = true;
+            if (head != noIndex)
+                is_stub[head] = true;
+        }
+    }
+}
+
+/** Re-emit the whole item sequence, with per-item overrides applied by
+ *  the caller through @p rank_of and @p word_of. Stream size must come
+ *  out identical, or the address map and branches would break. */
+template <typename RankOf, typename WordOf>
+void
+rebuildStream(compress::CompressedImage &image,
+              const std::vector<DecodedItem> &items, RankOf rank_of,
+              WordOf word_of)
+{
+    NibbleWriter writer;
+    for (uint32_t i = 0; i < items.size(); ++i) {
+        if (items[i].isCodeword)
+            compress::emitCodeword(writer, image.scheme, rank_of(i));
+        else
+            compress::emitInstruction(writer, image.scheme, word_of(i));
+    }
+    CC_ASSERT(writer.nibbleCount() == image.textNibbles,
+              "fault mutation changed the stream size");
+    image.text = writer.bytes();
+}
+
+/** Register whose corruption the mutated instruction should target:
+ *  prefer the register the original instruction writes, and never use
+ *  r2 (stub scratch, excluded from comparison) or r0 (often read as a
+ *  literal zero). */
+uint8_t
+corruptionTarget(const isa::Inst &inst)
+{
+    uint8_t reg;
+    switch (inst.op) {
+      case isa::Op::Rlwinm:
+      case isa::Op::Srawi:
+        reg = inst.ra;
+        break;
+      case isa::Op::Stw:
+      case isa::Op::Stb:
+      case isa::Op::Sth:
+      case isa::Op::Cmp:
+      case isa::Op::Cmpl:
+      case isa::Op::Cmpi:
+      case isa::Op::Cmpli:
+      case isa::Op::Mtspr:
+      case isa::Op::Sc:
+      case isa::Op::B:
+      case isa::Op::Bc:
+      case isa::Op::Bclr:
+      case isa::Op::Bcctr:
+        reg = 3;
+        break;
+      default:
+        reg = inst.rt;
+        break;
+    }
+    if (reg == 0 || reg == 2)
+        reg = 3;
+    return reg;
+}
+
+FaultInjection
+injectDictEntryWord(const compress::CompressedImage &image,
+                    const DecompressionEngine &engine,
+                    const Profile &profile, Rng &rng)
+{
+    std::set<uint32_t> rank_set;
+    for (uint32_t addr : profile.executed) {
+        const DecodedItem &item = engine.itemAt(addr);
+        if (item.isCodeword)
+            rank_set.insert(item.rank);
+    }
+    CC_ASSERT(!rank_set.empty(),
+              "no codeword executed; cannot inject a dictionary fault");
+    std::vector<uint32_t> ranks(rank_set.begin(), rank_set.end());
+    uint32_t rank = ranks[rng.below(ranks.size())];
+
+    FaultInjection fault{FaultKind::DictEntryWord, image, {}};
+    isa::Word original = fault.image.entriesByRank[rank][0];
+    isa::Inst victim = isa::decode(original);
+    isa::Inst corrupt;
+    corrupt.op = isa::Op::Addis;
+    corrupt.rt = corruptionTarget(victim);
+    corrupt.ra = corrupt.rt;
+    corrupt.imm = 0x0100;
+    if (isa::encode(corrupt) == original)
+        corrupt.imm = 0x0200;
+    fault.image.entriesByRank[rank][0] = isa::encode(corrupt);
+    fault.description =
+        "dictionary rank " + std::to_string(rank) + " slot 0: " +
+        isa::disassemble(victim, 0) + " -> " + isa::disassemble(corrupt, 0);
+    return fault;
+}
+
+FaultInjection
+injectCodewordRank(const compress::CompressedImage &image,
+                   const DecompressionEngine &engine,
+                   const Profile &profile, Rng &rng)
+{
+    std::vector<uint32_t> executed_codewords;
+    for (uint32_t addr : profile.executed) {
+        if (engine.itemAt(addr).isCodeword)
+            executed_codewords.push_back(addr);
+    }
+    CC_ASSERT(!executed_codewords.empty(),
+              "no codeword executed; cannot inject a rank fault");
+
+    // Pick an executed codeword whose width class holds another rank;
+    // a same-width swap keeps the stream layout bit-identical in size.
+    uint32_t num_ranks =
+        static_cast<uint32_t>(image.entriesByRank.size());
+    for (uint64_t attempt = 0; attempt < 64; ++attempt) {
+        uint32_t victim_addr =
+            executed_codewords[rng.below(executed_codewords.size())];
+        uint32_t victim_index = engine.itemIndexAt(victim_addr);
+        uint32_t old_rank = engine.items()[victim_index].rank;
+        unsigned width = compress::codewordNibbles(image.scheme, old_rank);
+        std::vector<uint32_t> candidates;
+        for (uint32_t r = 0; r < num_ranks; ++r) {
+            if (r != old_rank &&
+                compress::codewordNibbles(image.scheme, r) == width) {
+                candidates.push_back(r);
+            }
+        }
+        if (candidates.empty())
+            continue;
+        uint32_t new_rank = candidates[rng.below(candidates.size())];
+
+        FaultInjection fault{FaultKind::CodewordRank, image, {}};
+        const std::vector<DecodedItem> &items = engine.items();
+        rebuildStream(
+            fault.image, items,
+            [&](uint32_t i) {
+                return i == victim_index ? new_rank : items[i].rank;
+            },
+            [&](uint32_t i) { return items[i].word; });
+        fault.description = "codeword at nibble " + hex32(victim_addr) +
+                            ": rank " + std::to_string(old_rank) +
+                            " -> rank " + std::to_string(new_rank) +
+                            " (same width)";
+        return fault;
+    }
+    CC_PANIC("no same-width rank swap available for any executed codeword");
+}
+
+FaultInjection
+injectBranchDisp(const compress::CompressedImage &image,
+                 const DecompressionEngine &engine, const Profile &profile,
+                 Rng &rng)
+{
+    std::vector<uint32_t> orig_of;
+    std::vector<bool> is_stub;
+    classifyItems(engine, image, orig_of, is_stub);
+    const std::vector<DecodedItem> &items = engine.items();
+
+    // Taken relative branches outside stub groups: retargeting one is
+    // guaranteed to change the control flow of the verified run.
+    std::vector<uint32_t> candidates;
+    for (uint32_t addr : profile.redirected) {
+        uint32_t index = engine.itemIndexAt(addr);
+        if (is_stub[index] || items[index].isCodeword)
+            continue;
+        if (isa::decode(items[index].word).isRelativeBranch())
+            candidates.push_back(index);
+    }
+    CC_ASSERT(!candidates.empty(),
+              "no taken relative branch executed; cannot inject a "
+              "displacement fault");
+    uint32_t victim_index = candidates[rng.below(candidates.size())];
+    const DecodedItem &victim = items[victim_index];
+    isa::Inst inst = isa::decode(victim.word);
+    unsigned disp_bits = inst.op == isa::Op::B ? 24 : 14;
+    unsigned unit = compress::schemeParams(image.scheme).unitNibbles;
+    int64_t old_target =
+        static_cast<int64_t>(victim.nibbleAddr) +
+        static_cast<int64_t>(inst.disp) * unit;
+
+    // Retarget to the nearest other mapped, non-stub item boundary the
+    // displacement field can reach; item-boundary deltas are unit
+    // aligned by construction.
+    uint32_t best_index = noIndex;
+    int64_t best_distance = 0;
+    for (uint32_t i = 0; i < items.size(); ++i) {
+        if (orig_of[i] == noIndex || is_stub[i])
+            continue;
+        int64_t target = items[i].nibbleAddr;
+        if (target == old_target)
+            continue;
+        int64_t disp =
+            (target - static_cast<int64_t>(victim.nibbleAddr)) / unit;
+        if (!isa::fitsSigned(disp, disp_bits))
+            continue;
+        int64_t distance = target > old_target ? target - old_target
+                                               : old_target - target;
+        if (best_index == noIndex || distance < best_distance) {
+            best_index = i;
+            best_distance = distance;
+        }
+    }
+    CC_ASSERT(best_index != noIndex,
+              "no reachable alternative branch target");
+    isa::Inst mutated = inst;
+    mutated.disp = static_cast<int32_t>(
+        (static_cast<int64_t>(items[best_index].nibbleAddr) -
+         static_cast<int64_t>(victim.nibbleAddr)) /
+        unit);
+
+    FaultInjection fault{FaultKind::BranchDisp, image, {}};
+    rebuildStream(
+        fault.image, items,
+        [&](uint32_t i) { return items[i].rank; },
+        [&](uint32_t i) {
+            return i == victim_index ? isa::encode(mutated)
+                                     : items[i].word;
+        });
+    fault.description =
+        "branch at nibble " + hex32(victim.nibbleAddr) + ": disp " +
+        std::to_string(inst.disp) + " -> " + std::to_string(mutated.disp) +
+        " (retargeted to nibble " + hex32(items[best_index].nibbleAddr) +
+        ")";
+    return fault;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DictEntryWord:
+        return "dict-entry-word";
+      case FaultKind::CodewordRank:
+        return "codeword-rank";
+      case FaultKind::BranchDisp:
+        return "branch-disp";
+    }
+    return "unknown";
+}
+
+FaultInjection
+injectFault(const Program &program, const compress::CompressedImage &image,
+            FaultKind kind, uint64_t seed)
+{
+    (void)program;
+    DecompressionEngine engine(image);
+    Profile profile = profileRun(image, CompressedCpu::defaultMaxSteps);
+    Rng rng(seed);
+    switch (kind) {
+      case FaultKind::DictEntryWord:
+        return injectDictEntryWord(image, engine, profile, rng);
+      case FaultKind::CodewordRank:
+        return injectCodewordRank(image, engine, profile, rng);
+      case FaultKind::BranchDisp:
+        return injectBranchDisp(image, engine, profile, rng);
+    }
+    CC_PANIC("unknown fault kind");
+}
+
+} // namespace codecomp::verify

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Seeded fault injection for the lockstep harness: mutate one aspect of
+ * a compressed image -- a dictionary entry word, a codeword's rank, or
+ * a branch displacement -- in a way that provably fires during
+ * execution, then let runLockstep demonstrate that the divergence is
+ * caught and reported.
+ *
+ * Mutations are chosen from a profiling run of the pristine image so
+ * that the corrupted item is actually executed (and, for branches,
+ * actually taken); sizes are preserved so the surrounding stream and
+ * the address map stay valid.
+ */
+
+#ifndef CODECOMP_VERIFY_FAULT_HH
+#define CODECOMP_VERIFY_FAULT_HH
+
+#include <string>
+
+#include "compress/image.hh"
+#include "program/program.hh"
+
+namespace codecomp::verify {
+
+enum class FaultKind {
+    DictEntryWord, //!< corrupt one word of an executed dictionary entry
+    CodewordRank,  //!< swap an executed codeword to a same-width rank
+    BranchDisp,    //!< retarget an executed, taken relative branch
+};
+
+const char *faultKindName(FaultKind kind);
+
+struct FaultInjection
+{
+    FaultKind kind;
+    compress::CompressedImage image; //!< the mutated image
+    std::string description;        //!< what was mutated, and where
+};
+
+/**
+ * Produce a mutated copy of @p image. The profiling run executes the
+ * pristine image, so @p program must be the source of @p image.
+ * Deterministic in @p seed.
+ */
+FaultInjection injectFault(const Program &program,
+                           const compress::CompressedImage &image,
+                           FaultKind kind, uint64_t seed);
+
+} // namespace codecomp::verify
+
+#endif // CODECOMP_VERIFY_FAULT_HH

@@ -168,6 +168,39 @@ TEST_P(LzwProperty, RoundTripRandom)
 INSTANTIATE_TEST_SUITE_P(Seeds, LzwProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(Lzw, RoundTripFuzzAtWidthWideningBoundary)
+{
+    // With a full byte alphabet nearly every input byte inserts a
+    // dictionary entry, so the 256th insertion -- where the code width
+    // widens from 9 to 10 bits -- lands around byte 257. Lengths on
+    // both sides of that point put the final emitted code (written
+    // after the loop, at whatever width the last insertion left) just
+    // before, exactly at, and just after the widening.
+    for (uint64_t seed = 1; seed <= 8; ++seed)
+        for (size_t n = 248; n <= 268; n += 2) {
+            std::vector<uint8_t> data =
+                randomBytes(seed * 977 + n, n, 256);
+            ASSERT_EQ(lzwDecompress(lzwCompress(data)), data)
+                << "seed " << seed << " length " << n;
+        }
+}
+
+TEST(Lzw, RoundTripFuzzAtTableFreezeBoundary)
+{
+    // The table freezes at 2^16 codes; for uniform random bytes that
+    // happens near byte 89k (insertions slow as matches lengthen).
+    // These lengths end the input just before the freeze, around it,
+    // and well after -- in the frozen regime the decoder must stop
+    // allocating pending entries in the same step the encoder does,
+    // or every later code is off by the number of missed stalls.
+    for (uint64_t seed = 1; seed <= 2; ++seed)
+        for (size_t n : {87000u, 89500u, 92000u, 120000u}) {
+            std::vector<uint8_t> data = randomBytes(seed, n, 256);
+            ASSERT_EQ(lzwDecompress(lzwCompress(data)), data)
+                << "seed " << seed << " length " << n;
+        }
+}
+
 TEST(Lzw, RoundTripRealProgram)
 {
     Program p = workloads::buildBenchmark("compress");

@@ -74,6 +74,31 @@ TEST(ICache, StraddlingAccessTouchesBothLines)
     EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(ICache, NeverUsedWaysFillBeforeAnyEviction)
+{
+    // Single 4-way set. The victim scan is index-ordered over the ways,
+    // so among never-used ways (all lastUse 0) the lowest index wins
+    // deterministically, and no resident line is evicted while an
+    // untouched way remains.
+    ICache cache({128, 32, 4});
+    cache.access(0, 4);   // miss -> way 0
+    cache.access(32, 4);  // miss -> way 1
+    cache.access(0, 4);   // hit
+    cache.access(32, 4);  // hit
+    cache.access(64, 4);  // miss -> way 2 (never used), not an eviction
+    cache.access(96, 4);  // miss -> way 3
+    cache.access(0, 4);   // still resident
+    cache.access(32, 4);  // still resident
+    EXPECT_EQ(cache.stats().misses, 4u);
+
+    cache.access(128, 4); // set full: evicts the true LRU, line 64
+    cache.access(96, 4);  // hit: not the victim
+    cache.access(0, 4);   // hit
+    cache.access(32, 4);  // hit
+    cache.access(64, 4);  // miss: it was the one evicted
+    EXPECT_EQ(cache.stats().misses, 6u);
+}
+
 TEST(ICache, ResetClearsEverything)
 {
     ICache cache({256, 32, 1});
@@ -128,6 +153,36 @@ TEST(FetchHooks, CompressedFetchesAreSmallerAndFewerBytes)
     // The compressed fetch stream moves strictly fewer bytes for the
     // same execution (the bandwidth argument of the paper's intro).
     EXPECT_LT(compressed_bytes, native_bytes);
+}
+
+TEST(FetchHooks, StraddlingCompressedFetchTouchesExactlyTwoLines)
+{
+    // Variable-size compressed items land at arbitrary byte offsets, so
+    // some fetches straddle a cache-line boundary. Each such fetch must
+    // count as exactly two line touches -- no more, no less -- and the
+    // cache's access count must equal the sum of per-fetch line spans.
+    Program p = workloads::buildBenchmark("compress");
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+    compress::CompressedImage image = compress::compressProgram(p, config);
+
+    constexpr uint32_t line = 32;
+    ICache cache({2048, line, 2});
+    uint64_t expected_touches = 0;
+    uint64_t straddles = 0;
+    CompressedCpu cpu(image);
+    cpu.setFetchHook([&](uint32_t addr, uint32_t bytes) {
+        ASSERT_GE(bytes, 1u);
+        ASSERT_LE(bytes, line); // an item never covers three lines
+        uint32_t lines = (addr + bytes - 1) / line - addr / line + 1;
+        ASSERT_LE(lines, 2u);
+        straddles += lines == 2;
+        expected_touches += lines;
+        cache.access(addr, bytes);
+    });
+    cpu.run();
+    EXPECT_GT(straddles, 0u);
+    EXPECT_EQ(cache.stats().accesses, expected_touches);
 }
 
 TEST(FetchHooks, CompressedCodeMissesLessInSmallCache)

@@ -198,4 +198,38 @@ TEST(Engine, MidItemFetchPanics)
     EXPECT_DEATH(engine.itemAt(1), "mid-item");
 }
 
+TEST(Engine, FetchBeyondTextPanics)
+{
+    // The dense lookup table covers exactly textNibbles entries; a PC
+    // one past the end of the stream must trap, not read out of bounds.
+    Program p = workloads::buildBenchmark("compress");
+    CompressorConfig config;
+    CompressedImage image = compressProgram(p, config);
+    DecompressionEngine engine(image);
+    EXPECT_DEATH(engine.itemAt(image.textNibbles),
+                 "beyond compressed text");
+}
+
+TEST(Engine, DenseIndexAgreesWithStreamScan)
+{
+    // itemIndexAt answers from a dense nibble->index table instead of a
+    // hash map; walking the stream item by item must agree with it at
+    // every item head, under every scheme.
+    Program p = workloads::buildBenchmark("ijpeg");
+    for (Scheme scheme :
+         {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+        CompressorConfig config;
+        config.scheme = scheme;
+        CompressedImage image = compressProgram(p, config);
+        DecompressionEngine engine(image);
+        uint32_t index = 0;
+        uint32_t nib = 0;
+        while (nib < image.textNibbles) {
+            ASSERT_EQ(engine.itemIndexAt(nib), index);
+            nib += engine.itemAt(nib).nibbles;
+            ++index;
+        }
+    }
+}
+
 } // namespace

@@ -220,6 +220,65 @@ TEST(MachineState, HashChangesWithState)
     EXPECT_NE(a.stateHash(), b.stateHash());
 }
 
+TEST(MachineState, MemHashCoversOnlyTheRequestedRange)
+{
+    Machine a, b;
+    b.storeWord(0x1000, 0xdeadbeef);
+    EXPECT_NE(a.memHash(0x1000, 0x1004), b.memHash(0x1000, 0x1004));
+    // Outside the dirtied word the ranges still hash equal.
+    EXPECT_EQ(a.memHash(0, 0x1000), b.memHash(0, 0x1000));
+    EXPECT_EQ(a.memHash(0x1004, 0x2000), b.memHash(0x1004, 0x2000));
+    // An empty range hashes equal regardless of contents.
+    EXPECT_EQ(a.memHash(0x1000, 0x1000), b.memHash(0x1000, 0x1000));
+}
+
+TEST(MachineState, StoreHookSeesEveryArchitecturalStore)
+{
+    Machine m;
+    struct Store
+    {
+        uint32_t addr;
+        unsigned bytes;
+        uint32_t value;
+    };
+    std::vector<Store> seen;
+    m.setStoreHook([&seen](uint32_t addr, unsigned bytes, uint32_t value) {
+        seen.push_back({addr, bytes, value});
+    });
+
+    m.setGpr(5, 0x2000);
+    m.setGpr(6, 0x00c0ffee);
+    m.execute(isa::stw(6, 0, 5));
+    m.execute(isa::sth(6, 8, 5));
+    m.execute(isa::stb(6, 12, 5));
+    // Loads must not fire the hook.
+    m.execute(isa::lwz(7, 0, 5));
+
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].addr, 0x2000u);
+    EXPECT_EQ(seen[0].bytes, 4u);
+    EXPECT_EQ(seen[0].value, 0x00c0ffeeu);
+    EXPECT_EQ(seen[1].addr, 0x2008u);
+    EXPECT_EQ(seen[1].bytes, 2u);
+    EXPECT_EQ(seen[1].value, 0xffeeu);
+    EXPECT_EQ(seen[2].addr, 0x200cu);
+    EXPECT_EQ(seen[2].bytes, 1u);
+    EXPECT_EQ(seen[2].value, 0xeeu);
+    // The bytes landed before the hook observed them.
+    EXPECT_EQ(m.loadWord(0x2000), 0x00c0ffeeu);
+    EXPECT_EQ(m.gpr(7), 0x00c0ffeeu);
+}
+
+TEST(MachineMemory, AccessNearAddressSpaceTopDoesNotWrapAround)
+{
+    // addr + 4 overflows uint32_t here; the bounds check must reject
+    // the access rather than wrap to a small in-range address.
+    Machine m;
+    EXPECT_DEATH(m.loadWord(0xfffffffe), "");
+    EXPECT_DEATH(m.storeWord(0xfffffffe, 1), "");
+    EXPECT_DEATH(m.loadHalf(0xffffffff), "");
+}
+
 // ---------------- Cpu fetch loop ----------------
 
 /** Build a raw program from instructions and run it. */

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * ccverify -- lockstep differential verification of the compressed-
+ * program processor against the plain processor, over the same source
+ * program. Compresses the program internally (the .cci format does not
+ * carry the address map the verifier needs), runs both processors
+ * instruction for instruction, and reports any divergence with a
+ * disassembled window of recent history from both sides.
+ *
+ *   ccverify <prog.ccp> [options]
+ *   ccverify --benchmark <name> [options]
+ *
+ * Options:
+ *   --scheme baseline|onebyte|nibble|all   scheme(s) to verify (all)
+ *   --max-steps N        instruction budget per run
+ *   --window N           retired instructions of history per side
+ *   --max-divergences N  stop after N divergences
+ *   --check-interval N   full joint state walk every N instructions
+ *   --inject dict|rank|disp|all   fault-injection self-test mode:
+ *                        mutate the image and expect a divergence
+ *   --seed N             fault-injection seed
+ *
+ * Exit status: 0 all verified (or, with --inject, every fault was
+ * detected); 1 divergence (or an undetected fault); 2 usage error.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hh"
+#include "compress/objfile.hh"
+#include "support/serialize.hh"
+#include "verify/fault.hh"
+#include "verify/lockstep.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ccverify <prog.ccp> | --benchmark <name>\n"
+        "  [--scheme baseline|onebyte|nibble|all] [--max-steps N]\n"
+        "  [--window N] [--max-divergences N] [--check-interval N]\n"
+        "  [--inject dict|rank|disp|all] [--seed N]\n");
+    return 2;
+}
+
+bool
+hasMagic(const std::vector<uint8_t> &bytes, const char *magic)
+{
+    return bytes.size() >= 4 && bytes[0] == magic[0] &&
+           bytes[1] == magic[1] && bytes[2] == magic[2] &&
+           bytes[3] == magic[3];
+}
+
+/** One clean lockstep run; returns true if it verified. */
+bool
+verifyScheme(const Program &program, compress::Scheme scheme,
+             const verify::LockstepConfig &config)
+{
+    compress::CompressorConfig cc;
+    cc.scheme = scheme;
+    compress::CompressedImage image =
+        compress::compressProgram(program, cc);
+    verify::LockstepResult result =
+        verify::runLockstep(program, image, config);
+    std::printf("[%s] %s", compress::schemeName(scheme),
+                verify::formatReport(result).c_str());
+    return result.ok();
+}
+
+/** Fault-injection self-test: the run must diverge and say why. */
+bool
+verifyInjected(const Program &program, compress::Scheme scheme,
+               verify::FaultKind kind, uint64_t seed,
+               const verify::LockstepConfig &config)
+{
+    compress::CompressorConfig cc;
+    cc.scheme = scheme;
+    compress::CompressedImage image =
+        compress::compressProgram(program, cc);
+    verify::FaultInjection fault =
+        verify::injectFault(program, image, kind, seed);
+    verify::LockstepResult result =
+        verify::runLockstep(program, fault.image, config);
+    std::printf("[%s/%s] injected: %s\n", compress::schemeName(scheme),
+                verify::faultKindName(kind), fault.description.c_str());
+    if (result.ok()) {
+        std::printf("FAULT NOT DETECTED after %llu verified "
+                    "instructions\n",
+                    static_cast<unsigned long long>(result.verifiedInsts));
+        return false;
+    }
+    std::printf("fault detected: %s", verify::formatReport(result).c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input, benchmark, scheme_arg = "all", inject_arg;
+    uint64_t seed = 1;
+    verify::LockstepConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--benchmark" && i + 1 < argc) {
+            benchmark = argv[++i];
+        } else if (arg == "--scheme" && i + 1 < argc) {
+            scheme_arg = argv[++i];
+        } else if (arg == "--max-steps" && i + 1 < argc) {
+            config.maxSteps =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--window" && i + 1 < argc) {
+            config.window = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--max-divergences" && i + 1 < argc) {
+            config.maxDivergences =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--check-interval" && i + 1 < argc) {
+            config.fullCheckInterval =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--inject" && i + 1 < argc) {
+            inject_arg = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (!arg.empty() && arg[0] != '-') {
+            input = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty() == benchmark.empty())
+        return usage();
+    if (config.maxDivergences == 0 || config.window == 0)
+        return usage();
+
+    std::vector<compress::Scheme> schemes;
+    if (scheme_arg == "all") {
+        schemes = {compress::Scheme::Baseline, compress::Scheme::OneByte,
+                   compress::Scheme::Nibble};
+    } else if (scheme_arg == "baseline") {
+        schemes = {compress::Scheme::Baseline};
+    } else if (scheme_arg == "onebyte") {
+        schemes = {compress::Scheme::OneByte};
+    } else if (scheme_arg == "nibble") {
+        schemes = {compress::Scheme::Nibble};
+    } else {
+        return usage();
+    }
+
+    std::vector<verify::FaultKind> kinds;
+    if (inject_arg == "all") {
+        kinds = {verify::FaultKind::DictEntryWord,
+                 verify::FaultKind::CodewordRank,
+                 verify::FaultKind::BranchDisp};
+    } else if (inject_arg == "dict") {
+        kinds = {verify::FaultKind::DictEntryWord};
+    } else if (inject_arg == "rank") {
+        kinds = {verify::FaultKind::CodewordRank};
+    } else if (inject_arg == "disp") {
+        kinds = {verify::FaultKind::BranchDisp};
+    } else if (!inject_arg.empty()) {
+        return usage();
+    }
+
+    try {
+        Program program;
+        if (!benchmark.empty()) {
+            program = workloads::buildBenchmark(benchmark);
+        } else {
+            std::vector<uint8_t> bytes = readFile(input);
+            if (!hasMagic(bytes, "CCPR")) {
+                std::fprintf(stderr,
+                             "ccverify: %s is not a .ccp program\n",
+                             input.c_str());
+                return 2;
+            }
+            program = loadProgram(bytes);
+        }
+
+        bool ok = true;
+        for (compress::Scheme scheme : schemes) {
+            if (kinds.empty()) {
+                ok = verifyScheme(program, scheme, config) && ok;
+            } else {
+                for (verify::FaultKind kind : kinds)
+                    ok = verifyInjected(program, scheme, kind, seed,
+                                        config) &&
+                         ok;
+            }
+        }
+        return ok ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ccverify: %s\n", e.what());
+        return 1;
+    }
+}
