@@ -24,6 +24,7 @@
 #include "baselines/lzw.hh"
 #include "compress/candidates.hh"
 #include "compress/compressor.hh"
+#include "compress/pipeline.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
 #include "support/thread_pool.hh"
@@ -356,6 +357,27 @@ reportItemLookup()
                 addrs.size(), dense_ns, hash_ns, hash_ns / dense_ns);
 }
 
+void
+reportPassTimings()
+{
+    // Per-pass wall time through the pipeline: where a compression run
+    // actually spends its milliseconds (ijpeg, nibble, greedy). One
+    // warm run first so allocator and page-cache effects settle.
+    CompressorConfig config;
+    config.scheme = Scheme::Nibble;
+    config.maxEntries = 4680;
+    compressProgram(ijpeg(), config);
+    compress::PipelineStats stats;
+    compressProgram(ijpeg(), config, &stats);
+    std::printf("pipeline passes (ijpeg, nibble): total %.2f ms\n",
+                stats.totalMillis());
+    for (const compress::PassStats &pass : stats.passes)
+        std::printf("  %-12s %8.3f ms\n", pass.name.c_str(), pass.millis);
+    std::printf("PERF_JSON: {\"bench\":\"pipeline_pass_wall\","
+                "\"workload\":\"ijpeg\",\"pipeline\":%s}\n",
+                stats.toJson().c_str());
+}
+
 } // namespace
 
 int
@@ -372,6 +394,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     reportItemLookup();
+    reportPassTimings();
     reportSuiteSpeedup();
     return 0;
 }

@@ -1,380 +1,34 @@
 #include "compress/compressor.hh"
 
-#include <algorithm>
-#include <numeric>
-
-#include "compress/greedy.hh"
-#include "isa/builder.hh"
-#include "support/logging.hh"
+#include "compress/pipeline.hh"
 
 namespace codecomp::compress {
 
-namespace {
-
-/** One slot of the compressed layout. */
-struct LayoutItem
+CompressedImage
+compressProgram(const Program &program, const CompressorConfig &config)
 {
-    enum class Kind : uint8_t {
-        Insn,     //!< original instruction (branches patched at emission)
-        Codeword, //!< dictionary reference
-        SynFixed, //!< synthetic instruction emitted verbatim
-        SynLis,   //!< lis r2, hi16(pointer to targetIndex)
-        SynOri,   //!< ori r2, r2, lo16(pointer to targetIndex)
-    };
-
-    Kind kind;
-    isa::Word word = 0;
-    uint32_t entryId = 0;
-    uint32_t origIndex = UINT32_MAX;   //!< set on items that begin at an
-                                       //!< original instruction
-    uint32_t targetIndex = UINT32_MAX; //!< branch/pointer target
-};
-
-constexpr uint8_t regFar = 2; //!< reserved for far-branch stubs
-
-/** Field width of a relative branch's displacement. */
-unsigned
-dispBits(const isa::Inst &inst)
-{
-    return inst.op == isa::Op::B ? 24 : 14;
+    return compressProgram(program, config, nullptr);
 }
 
-class Layout
+CompressedImage
+compressProgram(const Program &program, const CompressorConfig &config,
+                PipelineStats *stats)
 {
-  public:
-    Layout(const Program &program, const SchemeParams &params,
-           Scheme scheme, const SelectionResult &selection,
-           const std::vector<uint32_t> &rank_of_entry)
-        : program_(program), params_(params), scheme_(scheme),
-          rankOfEntry_(rank_of_entry)
-    {
-        buildItems(selection);
-    }
-
-    /** Iterate address assignment + far-branch expansion to fixpoint. */
-    uint32_t
-    fixpoint()
-    {
-        uint32_t expansions = 0;
-        for (;;) {
-            assignAddresses();
-            std::vector<size_t> far = findFarBranches();
-            if (far.empty())
-                return expansions;
-            expansions += static_cast<uint32_t>(far.size());
-            expand(far);
-        }
-    }
-
-    const std::vector<LayoutItem> &items() const { return items_; }
-    const std::vector<uint32_t> &itemAddr() const { return item_addr_; }
-    const std::unordered_map<uint32_t, uint32_t> &addrMap() const
-    {
-        return addr_map_;
-    }
-
-    /** Patched displacement (in units) for the branch item at @p i. */
-    int32_t
-    branchDisp(size_t i) const
-    {
-        const LayoutItem &item = items_[i];
-        uint32_t target_nib = addr_map_.at(item.targetIndex);
-        int64_t delta = static_cast<int64_t>(target_nib) -
-                        static_cast<int64_t>(item_addr_[i]);
-        CC_ASSERT(delta % params_.unitNibbles == 0,
-                  "branch target not unit-aligned");
-        return static_cast<int32_t>(delta / params_.unitNibbles);
-    }
-
-  private:
-    void
-    buildItems(const SelectionResult &selection)
-    {
-        size_t placement = 0;
-        uint32_t index = 0;
-        uint32_t n = static_cast<uint32_t>(program_.text.size());
-        while (index < n) {
-            if (placement < selection.placements.size() &&
-                selection.placements[placement].start == index) {
-                const Placement &p = selection.placements[placement];
-                LayoutItem item;
-                item.kind = LayoutItem::Kind::Codeword;
-                item.entryId = p.entryId;
-                item.origIndex = index;
-                items_.push_back(item);
-                index += p.length;
-                ++placement;
-                continue;
-            }
-            LayoutItem item;
-            item.kind = LayoutItem::Kind::Insn;
-            item.word = program_.text[index];
-            item.origIndex = index;
-            isa::Inst inst = isa::decode(item.word);
-            if (inst.isRelativeBranch())
-                item.targetIndex = program_.branchTargetIndex(index);
-            items_.push_back(item);
-            ++index;
-        }
-        CC_ASSERT(placement == selection.placements.size(),
-                  "placements misaligned with text walk");
-    }
-
-    unsigned
-    itemNibbles(const LayoutItem &item) const
-    {
-        if (item.kind == LayoutItem::Kind::Codeword)
-            return codewordNibbles(scheme_,
-                                   rankOfEntry_[item.entryId]);
-        return params_.insnNibbles;
-    }
-
-    void
-    assignAddresses()
-    {
-        item_addr_.resize(items_.size());
-        addr_map_.clear();
-        uint32_t addr = 0;
-        for (size_t i = 0; i < items_.size(); ++i) {
-            item_addr_[i] = addr;
-            if (items_[i].origIndex != UINT32_MAX)
-                addr_map_.emplace(items_[i].origIndex, addr);
-            addr += itemNibbles(items_[i]);
-        }
-        total_nibbles_ = addr;
-    }
-
-    std::vector<size_t>
-    findFarBranches() const
-    {
-        std::vector<size_t> far;
-        for (size_t i = 0; i < items_.size(); ++i) {
-            const LayoutItem &item = items_[i];
-            if (item.kind != LayoutItem::Kind::Insn ||
-                item.targetIndex == UINT32_MAX)
-                continue;
-            isa::Inst inst = isa::decode(item.word);
-            if (!isa::fitsSigned(branchDisp(i), dispBits(inst)))
-                far.push_back(i);
-        }
-        return far;
-    }
-
-    void
-    expand(const std::vector<size_t> &far)
-    {
-        std::vector<LayoutItem> next;
-        next.reserve(items_.size() + far.size() * 6);
-        size_t far_pos = 0;
-        for (size_t i = 0; i < items_.size(); ++i) {
-            if (far_pos >= far.size() || far[far_pos] != i) {
-                next.push_back(items_[i]);
-                continue;
-            }
-            ++far_pos;
-            const LayoutItem &item = items_[i];
-            isa::Inst inst = isa::decode(item.word);
-            CC_ASSERT(!inst.isCall() || inst.op == isa::Op::B,
-                      "cannot far-expand a linking conditional branch");
-
-            auto syn = [](isa::Word word) {
-                LayoutItem s;
-                s.kind = LayoutItem::Kind::SynFixed;
-                s.word = word;
-                return s;
-            };
-            auto ptr_pair = [&item](LayoutItem::Kind kind) {
-                LayoutItem s;
-                s.kind = kind;
-                s.targetIndex = item.targetIndex;
-                return s;
-            };
-
-            size_t first = next.size();
-            if (inst.op == isa::Op::Bc) {
-                CC_ASSERT(inst.bo !=
-                              static_cast<uint8_t>(isa::Bo::DecNz),
-                          "cannot far-expand a CTR-decrementing branch");
-                CC_ASSERT(!inst.lk, "cannot far-expand bcl");
-                // bc cond -> trampoline (two instructions ahead);
-                // b -> past the stub (five instructions ahead).
-                int32_t two = static_cast<int32_t>(
-                    2 * params_.insnNibbles / params_.unitNibbles);
-                int32_t five = static_cast<int32_t>(
-                    5 * params_.insnNibbles / params_.unitNibbles);
-                next.push_back(syn(isa::encode(isa::bc(
-                    static_cast<isa::Bo>(inst.bo), inst.bi, two))));
-                next.push_back(syn(isa::encode(isa::b(five))));
-            }
-            next.push_back(ptr_pair(LayoutItem::Kind::SynLis));
-            next.push_back(ptr_pair(LayoutItem::Kind::SynOri));
-            next.push_back(syn(isa::encode(isa::mtctr(regFar))));
-            next.push_back(syn(isa::encode(
-                inst.lk ? isa::bctrl() : isa::bctr())));
-            // The stub inherits the original instruction's identity so
-            // branches targeting it still resolve.
-            next[first].origIndex = item.origIndex;
-        }
-        items_ = std::move(next);
-    }
-
-    const Program &program_;
-    SchemeParams params_;
-    Scheme scheme_;
-    const std::vector<uint32_t> &rankOfEntry_;
-    std::vector<LayoutItem> items_;
-    std::vector<uint32_t> item_addr_;
-    std::unordered_map<uint32_t, uint32_t> addr_map_;
-    uint32_t total_nibbles_ = 0;
-};
-
-/** Frequency ranking: most-used entry gets rank 0 (shortest codeword). */
-std::vector<uint32_t>
-rankEntries(const SelectionResult &selection)
-{
-    std::vector<uint32_t> order(selection.dict.entries.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(),
-                     [&selection](uint32_t a, uint32_t b) {
-                         return selection.useCount[a] >
-                                selection.useCount[b];
-                     });
-    std::vector<uint32_t> rank_of_entry(order.size());
-    for (uint32_t rank = 0; rank < order.size(); ++rank)
-        rank_of_entry[order[rank]] = rank;
-    return rank_of_entry;
+    PipelineContext ctx(program, config);
+    PipelineStats run = Pipeline::standard().run(ctx);
+    if (stats)
+        *stats = std::move(run);
+    return std::move(ctx.image);
 }
-
-void
-accountInstruction(Composition &comp, Scheme scheme)
-{
-    if (scheme == Scheme::Nibble)
-        comp.escapeNibbles += 1;
-    comp.insnNibbles += 8;
-}
-
-void
-accountCodeword(Composition &comp, Scheme scheme, unsigned nibbles)
-{
-    if (scheme == Scheme::Baseline) {
-        comp.escapeNibbles += 2;
-        comp.codewordNibbles += 2;
-    } else {
-        comp.codewordNibbles += nibbles;
-    }
-}
-
-} // namespace
 
 CompressedImage
 compressWithSelection(const Program &program, const CompressorConfig &config,
                       SelectionResult selection)
 {
-    CC_ASSERT(program.dataBase != 0, "program not finalized");
-    SchemeParams params = schemeParams(config.scheme);
-
-    CompressedImage image;
-    image.scheme = config.scheme;
-    image.originalTextBytes = program.textBytes();
-    image.dataBase = program.dataBase;
-    image.rankOfEntry = rankEntries(selection);
-    image.entriesByRank.resize(selection.dict.entries.size());
-    for (uint32_t id = 0; id < selection.dict.entries.size(); ++id)
-        image.entriesByRank[image.rankOfEntry[id]] =
-            selection.dict.entries[id];
-
-    Layout layout(program, params, config.scheme, selection,
-                  image.rankOfEntry);
-    image.farBranchExpansions = layout.fixpoint();
-    image.selection = std::move(selection);
-
-    // ---- emission ----
-    NibbleWriter writer;
-    const auto &items = layout.items();
-    for (size_t i = 0; i < items.size(); ++i) {
-        const LayoutItem &item = items[i];
-        CC_ASSERT(writer.nibbleCount() == layout.itemAddr()[i],
-                  "emission drifted from layout");
-        switch (item.kind) {
-          case LayoutItem::Kind::Insn: {
-            isa::Word word = item.word;
-            if (item.targetIndex != UINT32_MAX) {
-                isa::Inst inst = isa::decode(word);
-                inst.disp = layout.branchDisp(i);
-                inst.aa = false;
-                word = isa::encode(inst);
-            }
-            emitInstruction(writer, config.scheme, word);
-            accountInstruction(image.composition, config.scheme);
-            break;
-          }
-          case LayoutItem::Kind::SynFixed:
-            emitInstruction(writer, config.scheme, item.word);
-            accountInstruction(image.composition, config.scheme);
-            break;
-          case LayoutItem::Kind::SynLis:
-          case LayoutItem::Kind::SynOri: {
-            uint32_t pointer = CompressedImage::nibbleBase +
-                               layout.addrMap().at(item.targetIndex);
-            isa::Inst inst =
-                item.kind == LayoutItem::Kind::SynLis
-                    ? isa::lis(regFar,
-                               static_cast<int32_t>(static_cast<int16_t>(
-                                   pointer >> 16)))
-                    : isa::ori(regFar, regFar,
-                               static_cast<int32_t>(pointer & 0xffff));
-            emitInstruction(writer, config.scheme, isa::encode(inst));
-            accountInstruction(image.composition, config.scheme);
-            break;
-          }
-          case LayoutItem::Kind::Codeword: {
-            uint32_t rank = image.rankOfEntry[item.entryId];
-            emitCodeword(writer, config.scheme, rank);
-            accountCodeword(image.composition, config.scheme,
-                            codewordNibbles(config.scheme, rank));
-            break;
-          }
-        }
-    }
-    image.textNibbles = writer.nibbleCount();
-    image.text = writer.bytes();
-    image.addrMap = layout.addrMap();
-    image.entryPointNibble = image.addrMap.at(program.entryIndex);
-    image.composition.dictNibbles = image.dictionaryBytes() * 2;
-
-    // The two size accountings must agree (DESIGN.md section 7).
-    CC_ASSERT(image.composition.totalNibbles() ==
-                  image.textNibbles + image.dictionaryBytes() * 2,
-              "composition does not sum to image size");
-
-    // ---- jump-table re-patch ----
-    image.data = program.data;
-    for (const CodeReloc &reloc : program.codeRelocs) {
-        uint32_t pointer = image.codePointer(reloc.targetIndex);
-        image.data[reloc.dataOffset] = static_cast<uint8_t>(pointer >> 24);
-        image.data[reloc.dataOffset + 1] =
-            static_cast<uint8_t>(pointer >> 16);
-        image.data[reloc.dataOffset + 2] =
-            static_cast<uint8_t>(pointer >> 8);
-        image.data[reloc.dataOffset + 3] = static_cast<uint8_t>(pointer);
-    }
-    return image;
-}
-
-CompressedImage
-compressProgram(const Program &program, const CompressorConfig &config)
-{
-    SchemeParams params = schemeParams(config.scheme);
-    GreedyConfig greedy;
-    greedy.maxEntries = std::min(config.maxEntries, params.maxCodewords);
-    greedy.maxEntryLen = config.maxEntryLen;
-    greedy.insnNibbles = params.insnNibbles;
-    greedy.codewordNibbles =
-        config.assumedCodewordNibbles
-            ? config.assumedCodewordNibbles
-            : params.defaultAssumedCodewordNibbles;
-    return compressWithSelection(program, config,
-                                 selectGreedy(program, greedy));
+    PipelineContext ctx(program, config);
+    ctx.selection = std::move(selection);
+    Pipeline::fromSelection().run(ctx);
+    return std::move(ctx.image);
 }
 
 } // namespace codecomp::compress

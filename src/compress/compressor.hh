@@ -1,6 +1,7 @@
 /**
  * @file
- * The compressor: greedy selection + codeword assignment + layout with
+ * The compressor entry points: thin wrappers over the pass pipeline
+ * (pipeline.hh) that runs selection + codeword assignment + layout with
  * branch patching (paper section 3).
  *
  * Branch handling follows section 3.2: relative branches are never
@@ -18,8 +19,11 @@
 #define CODECOMP_COMPRESS_COMPRESSOR_HH
 
 #include "compress/image.hh"
+#include "compress/strategy.hh"
 
 namespace codecomp::compress {
+
+struct PipelineStats;
 
 struct CompressorConfig
 {
@@ -35,13 +39,26 @@ struct CompressorConfig
      *  0 means the scheme default (true cost for fixed-length schemes,
      *  2 nibbles for the nibble scheme). */
     uint32_t assumedCodewordNibbles = 0;
+
+    /** Dictionary selection policy (strategy.hh). */
+    StrategyKind strategy = StrategyKind::Greedy;
+
+    /** Refit iteration bound when strategy == IterativeRefit. */
+    uint32_t refitMaxRounds = 6;
 };
 
 /** Compress @p program; the result is executable on CompressedCpu. */
 CompressedImage compressProgram(const Program &program,
                                 const CompressorConfig &config);
 
-/** Compress with a pre-computed selection (used by ablation benches). */
+/** compressProgram, also reporting per-pass timing and counters into
+ *  @p stats when non-null. */
+CompressedImage compressProgram(const Program &program,
+                                const CompressorConfig &config,
+                                PipelineStats *stats);
+
+/** Compress with a pre-computed selection (used by ablation benches);
+ *  runs the pipeline from the RankAssign pass on. */
 CompressedImage compressWithSelection(const Program &program,
                                       const CompressorConfig &config,
                                       SelectionResult selection);

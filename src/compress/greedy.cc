@@ -29,6 +29,15 @@ struct HeapLess
     }
 };
 
+/** Assumed codeword cost for candidate @p id under an optional
+ *  per-candidate override. */
+inline uint32_t
+costOf(const GreedyConfig &config, const std::vector<uint32_t> &costs,
+       uint32_t id)
+{
+    return costs.empty() ? config.codewordNibbles : costs[id];
+}
+
 /** Consume one accepted candidate: emit placements, mark slots. Walks
  *  the identical forEachNonOverlapping as countNonOverlapping, so the
  *  savings evaluated before acceptance always match what is placed. */
@@ -59,14 +68,34 @@ finish(SelectionResult result)
     return result;
 }
 
+void
+checkConfig(const GreedyConfig &config)
+{
+    std::string error = greedyConfigError(config);
+    if (!error.empty())
+        CC_FATAL("invalid selection config: ", error);
+}
+
+void
+checkInputs(const GreedyConfig &config,
+            const std::vector<Candidate> &candidates,
+            const std::vector<uint32_t> &codewordCosts)
+{
+    checkConfig(config);
+    CC_ASSERT(codewordCosts.empty() ||
+                  codewordCosts.size() == candidates.size(),
+              "per-candidate cost vector length mismatch");
+}
+
 } // namespace
 
 SelectionResult
-selectGreedy(const Program &program, const GreedyConfig &config)
+selectGreedyFromCandidates(size_t textSize,
+                           const std::vector<Candidate> &candidates,
+                           const GreedyConfig &config,
+                           const std::vector<uint32_t> &codewordCosts)
 {
-    Cfg cfg = Cfg::build(program);
-    std::vector<Candidate> candidates = enumerateCandidates(
-        program, cfg, config.minEntryLen, config.maxEntryLen);
+    checkInputs(config, candidates, codewordCosts);
 
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
     for (uint32_t id = 0; id < candidates.size(); ++id) {
@@ -74,13 +103,14 @@ selectGreedy(const Program &program, const GreedyConfig &config)
             static_cast<uint32_t>(candidates[id].seq.size());
         uint32_t occ = countNonOverlapping(candidates[id].positions,
                                            length, {});
-        int64_t savings = savingsNibbles(config, length, occ);
+        int64_t savings = savingsNibbles(config, length, occ,
+                                         costOf(config, codewordCosts, id));
         if (savings > 0)
             heap.push({savings, id});
     }
 
     SelectionResult result;
-    std::vector<bool> consumed(program.text.size(), false);
+    std::vector<bool> consumed(textSize, false);
 
     while (!heap.empty() &&
            result.dict.entries.size() < config.maxEntries) {
@@ -90,7 +120,9 @@ selectGreedy(const Program &program, const GreedyConfig &config)
         uint32_t length = static_cast<uint32_t>(cand.seq.size());
         uint32_t occ =
             countNonOverlapping(cand.positions, length, consumed);
-        int64_t savings = savingsNibbles(config, length, occ);
+        int64_t savings =
+            savingsNibbles(config, length, occ,
+                           costOf(config, codewordCosts, top.candId));
         CC_ASSERT(savings <= top.savings,
                   "candidate savings increased; lazy heap invalid");
         if (savings <= 0)
@@ -106,14 +138,15 @@ selectGreedy(const Program &program, const GreedyConfig &config)
 }
 
 SelectionResult
-selectGreedyReference(const Program &program, const GreedyConfig &config)
+selectGreedyReferenceFromCandidates(size_t textSize,
+                                    const std::vector<Candidate> &candidates,
+                                    const GreedyConfig &config,
+                                    const std::vector<uint32_t> &codewordCosts)
 {
-    Cfg cfg = Cfg::build(program);
-    std::vector<Candidate> candidates = enumerateCandidates(
-        program, cfg, config.minEntryLen, config.maxEntryLen);
+    checkInputs(config, candidates, codewordCosts);
 
     SelectionResult result;
-    std::vector<bool> consumed(program.text.size(), false);
+    std::vector<bool> consumed(textSize, false);
 
     while (result.dict.entries.size() < config.maxEntries) {
         int64_t best_savings = 0;
@@ -123,7 +156,9 @@ selectGreedyReference(const Program &program, const GreedyConfig &config)
                 static_cast<uint32_t>(candidates[id].seq.size());
             uint32_t occ = countNonOverlapping(candidates[id].positions,
                                                length, consumed);
-            int64_t savings = savingsNibbles(config, length, occ);
+            int64_t savings =
+                savingsNibbles(config, length, occ,
+                               costOf(config, codewordCosts, id));
             if (savings > best_savings) {
                 best_savings = savings;
                 best_id = id;
@@ -136,6 +171,28 @@ selectGreedyReference(const Program &program, const GreedyConfig &config)
                result);
     }
     return finish(std::move(result));
+}
+
+SelectionResult
+selectGreedy(const Program &program, const GreedyConfig &config)
+{
+    checkConfig(config); // before enumeration sees the bad lengths
+    Cfg cfg = Cfg::build(program);
+    std::vector<Candidate> candidates = enumerateCandidates(
+        program, cfg, config.minEntryLen, config.maxEntryLen);
+    return selectGreedyFromCandidates(program.text.size(), candidates,
+                                      config);
+}
+
+SelectionResult
+selectGreedyReference(const Program &program, const GreedyConfig &config)
+{
+    checkConfig(config);
+    Cfg cfg = Cfg::build(program);
+    std::vector<Candidate> candidates = enumerateCandidates(
+        program, cfg, config.minEntryLen, config.maxEntryLen);
+    return selectGreedyReferenceFromCandidates(program.text.size(),
+                                               candidates, config);
 }
 
 } // namespace codecomp::compress

@@ -1,0 +1,536 @@
+#include "compress/pipeline.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "isa/builder.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace codecomp::compress {
+
+namespace {
+
+constexpr uint8_t regFar = 2; //!< reserved for far-branch stubs
+
+/** Field width of a relative branch's displacement. */
+unsigned
+dispBits(const isa::Inst &inst)
+{
+    return inst.op == isa::Op::B ? 24 : 14;
+}
+
+} // namespace
+
+/** One slot of the compressed layout. */
+struct LayoutItem
+{
+    enum class Kind : uint8_t {
+        Insn,     //!< original instruction (branches patched at emission)
+        Codeword, //!< dictionary reference
+        SynFixed, //!< synthetic instruction emitted verbatim
+        SynLis,   //!< lis r2, hi16(pointer to targetIndex)
+        SynOri,   //!< ori r2, r2, lo16(pointer to targetIndex)
+    };
+
+    Kind kind;
+    isa::Word word = 0;
+    uint32_t entryId = 0;
+    uint32_t origIndex = UINT32_MAX;   //!< set on items that begin at an
+                                       //!< original instruction
+    uint32_t targetIndex = UINT32_MAX; //!< branch/pointer target
+};
+
+/**
+ * Working state shared by the Layout, BranchPatch, and Emit passes: the
+ * item list, its nibble addresses, and the original-index -> nibble
+ * address map. References the context's program and image.rankOfEntry,
+ * both of which outlive it.
+ */
+struct LayoutWork
+{
+    LayoutWork(const Program &program, const SchemeParams &params,
+               Scheme scheme, const SelectionResult &selection,
+               const std::vector<uint32_t> &rank_of_entry)
+        : program_(program), params_(params), scheme_(scheme),
+          rankOfEntry_(rank_of_entry)
+    {
+        buildItems(selection);
+    }
+
+    /** One far-branch expansion round: rewrite every branch whose
+     *  displacement no longer fits through an absolute-target stub and
+     *  reassign addresses. Returns the number of branches expanded;
+     *  0 means addresses are at fixpoint. */
+    uint32_t
+    expandFarBranches()
+    {
+        std::vector<size_t> far = findFarBranches();
+        if (far.empty())
+            return 0;
+        expand(far);
+        assignAddresses();
+        return static_cast<uint32_t>(far.size());
+    }
+
+    const std::vector<LayoutItem> &items() const { return items_; }
+    const std::vector<uint32_t> &itemAddr() const { return item_addr_; }
+    const std::unordered_map<uint32_t, uint32_t> &addrMap() const
+    {
+        return addr_map_;
+    }
+
+    /** Patched displacement (in units) for the branch item at @p i. */
+    int32_t
+    branchDisp(size_t i) const
+    {
+        const LayoutItem &item = items_[i];
+        uint32_t target_nib = addr_map_.at(item.targetIndex);
+        int64_t delta = static_cast<int64_t>(target_nib) -
+                        static_cast<int64_t>(item_addr_[i]);
+        CC_ASSERT(delta % params_.unitNibbles == 0,
+                  "branch target not unit-aligned");
+        return static_cast<int32_t>(delta / params_.unitNibbles);
+    }
+
+    void
+    assignAddresses()
+    {
+        item_addr_.resize(items_.size());
+        addr_map_.clear();
+        uint32_t addr = 0;
+        for (size_t i = 0; i < items_.size(); ++i) {
+            item_addr_[i] = addr;
+            if (items_[i].origIndex != UINT32_MAX)
+                addr_map_.emplace(items_[i].origIndex, addr);
+            addr += itemNibbles(items_[i]);
+        }
+        total_nibbles_ = addr;
+    }
+
+  private:
+    void
+    buildItems(const SelectionResult &selection)
+    {
+        size_t placement = 0;
+        uint32_t index = 0;
+        uint32_t n = static_cast<uint32_t>(program_.text.size());
+        while (index < n) {
+            if (placement < selection.placements.size() &&
+                selection.placements[placement].start == index) {
+                const Placement &p = selection.placements[placement];
+                LayoutItem item;
+                item.kind = LayoutItem::Kind::Codeword;
+                item.entryId = p.entryId;
+                item.origIndex = index;
+                items_.push_back(item);
+                index += p.length;
+                ++placement;
+                continue;
+            }
+            LayoutItem item;
+            item.kind = LayoutItem::Kind::Insn;
+            item.word = program_.text[index];
+            item.origIndex = index;
+            isa::Inst inst = isa::decode(item.word);
+            if (inst.isRelativeBranch())
+                item.targetIndex = program_.branchTargetIndex(index);
+            items_.push_back(item);
+            ++index;
+        }
+        CC_ASSERT(placement == selection.placements.size(),
+                  "placements misaligned with text walk");
+    }
+
+    unsigned
+    itemNibbles(const LayoutItem &item) const
+    {
+        if (item.kind == LayoutItem::Kind::Codeword)
+            return codewordNibbles(scheme_, rankOfEntry_[item.entryId]);
+        return params_.insnNibbles;
+    }
+
+    std::vector<size_t>
+    findFarBranches() const
+    {
+        std::vector<size_t> far;
+        for (size_t i = 0; i < items_.size(); ++i) {
+            const LayoutItem &item = items_[i];
+            if (item.kind != LayoutItem::Kind::Insn ||
+                item.targetIndex == UINT32_MAX)
+                continue;
+            isa::Inst inst = isa::decode(item.word);
+            if (!isa::fitsSigned(branchDisp(i), dispBits(inst)))
+                far.push_back(i);
+        }
+        return far;
+    }
+
+    void
+    expand(const std::vector<size_t> &far)
+    {
+        std::vector<LayoutItem> next;
+        next.reserve(items_.size() + far.size() * 6);
+        size_t far_pos = 0;
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (far_pos >= far.size() || far[far_pos] != i) {
+                next.push_back(items_[i]);
+                continue;
+            }
+            ++far_pos;
+            const LayoutItem &item = items_[i];
+            isa::Inst inst = isa::decode(item.word);
+            CC_ASSERT(!inst.isCall() || inst.op == isa::Op::B,
+                      "cannot far-expand a linking conditional branch");
+
+            auto syn = [](isa::Word word) {
+                LayoutItem s;
+                s.kind = LayoutItem::Kind::SynFixed;
+                s.word = word;
+                return s;
+            };
+            auto ptr_pair = [&item](LayoutItem::Kind kind) {
+                LayoutItem s;
+                s.kind = kind;
+                s.targetIndex = item.targetIndex;
+                return s;
+            };
+
+            size_t first = next.size();
+            if (inst.op == isa::Op::Bc) {
+                CC_ASSERT(inst.bo !=
+                              static_cast<uint8_t>(isa::Bo::DecNz),
+                          "cannot far-expand a CTR-decrementing branch");
+                CC_ASSERT(!inst.lk, "cannot far-expand bcl");
+                // bc cond -> trampoline (two instructions ahead);
+                // b -> past the stub (five instructions ahead).
+                int32_t two = static_cast<int32_t>(
+                    2 * params_.insnNibbles / params_.unitNibbles);
+                int32_t five = static_cast<int32_t>(
+                    5 * params_.insnNibbles / params_.unitNibbles);
+                next.push_back(syn(isa::encode(isa::bc(
+                    static_cast<isa::Bo>(inst.bo), inst.bi, two))));
+                next.push_back(syn(isa::encode(isa::b(five))));
+            }
+            next.push_back(ptr_pair(LayoutItem::Kind::SynLis));
+            next.push_back(ptr_pair(LayoutItem::Kind::SynOri));
+            next.push_back(syn(isa::encode(isa::mtctr(regFar))));
+            next.push_back(syn(isa::encode(
+                inst.lk ? isa::bctrl() : isa::bctr())));
+            // The stub inherits the original instruction's identity so
+            // branches targeting it still resolve.
+            next[first].origIndex = item.origIndex;
+        }
+        items_ = std::move(next);
+    }
+
+    const Program &program_;
+    SchemeParams params_;
+    Scheme scheme_;
+    const std::vector<uint32_t> &rankOfEntry_;
+    std::vector<LayoutItem> items_;
+    std::vector<uint32_t> item_addr_;
+    std::unordered_map<uint32_t, uint32_t> addr_map_;
+    uint32_t total_nibbles_ = 0;
+};
+
+// ---- stats ----
+
+uint64_t
+PassStats::counter(std::string_view key) const
+{
+    for (const auto &[name, value] : counters)
+        if (name == key)
+            return value;
+    return 0;
+}
+
+double
+PipelineStats::totalMillis() const
+{
+    double total = 0.0;
+    for (const PassStats &pass : passes)
+        total += pass.millis;
+    return total;
+}
+
+const PassStats *
+PipelineStats::pass(std::string_view name) const
+{
+    for (const PassStats &pass : passes)
+        if (pass.name == name)
+            return &pass;
+    return nullptr;
+}
+
+std::string
+PipelineStats::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.member("strategy", strategy);
+    json.member("scheme", scheme);
+    json.member("selection_rounds", selectionRounds);
+    json.member("total_millis", totalMillis());
+    json.key("passes");
+    json.beginArray();
+    for (const PassStats &pass : passes) {
+        json.beginObject();
+        json.member("name", pass.name);
+        json.member("millis", pass.millis);
+        json.key("counters");
+        json.beginObject();
+        for (const auto &[name, value] : pass.counters)
+            json.member(name, value);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+// ---- context ----
+
+PipelineContext::PipelineContext(const Program &prog,
+                                 const CompressorConfig &cfg)
+    : program(prog), config(cfg), params(schemeParams(cfg.scheme))
+{
+    greedy.maxEntries = std::min(config.maxEntries, params.maxCodewords);
+    greedy.maxEntryLen = config.maxEntryLen;
+    greedy.insnNibbles = params.insnNibbles;
+    greedy.codewordNibbles =
+        config.assumedCodewordNibbles
+            ? config.assumedCodewordNibbles
+            : params.defaultAssumedCodewordNibbles;
+    std::string error = greedyConfigError(greedy);
+    if (!error.empty())
+        CC_FATAL("invalid compressor config: ", error);
+    strategy = makeStrategy(config.strategy,
+                            RefitOptions{config.refitMaxRounds});
+}
+
+PipelineContext::~PipelineContext() = default;
+
+void
+PipelineContext::counter(std::string name, uint64_t value)
+{
+    if (activePass)
+        activePass->counters.emplace_back(std::move(name), value);
+}
+
+// ---- passes ----
+
+void
+passEnumerate(PipelineContext &ctx)
+{
+    ctx.cfg = Cfg::build(ctx.program);
+    ctx.candidates =
+        enumerateCandidates(ctx.program, *ctx.cfg, ctx.greedy.minEntryLen,
+                            ctx.greedy.maxEntryLen);
+    ctx.counter("blocks", ctx.cfg->blocks().size());
+    ctx.counter("candidates", ctx.candidates.size());
+}
+
+void
+passSelect(PipelineContext &ctx)
+{
+    ctx.selection = ctx.strategy->select(ctx.program.text.size(),
+                                         ctx.candidates, ctx.greedy,
+                                         ctx.config.scheme);
+    ctx.counter("entries", ctx.selection.dict.entries.size());
+    ctx.counter("placements", ctx.selection.placements.size());
+    ctx.counter("rounds", ctx.strategy->rounds());
+}
+
+void
+passRankAssign(PipelineContext &ctx)
+{
+    CC_ASSERT(ctx.program.dataBase != 0, "program not finalized");
+    CompressedImage &image = ctx.image;
+    image.scheme = ctx.config.scheme;
+    image.originalTextBytes = ctx.program.textBytes();
+    image.dataBase = ctx.program.dataBase;
+    image.rankOfEntry = rankByUseCount(ctx.selection);
+    image.entriesByRank.resize(ctx.selection.dict.entries.size());
+    for (uint32_t id = 0; id < ctx.selection.dict.entries.size(); ++id)
+        image.entriesByRank[image.rankOfEntry[id]] =
+            ctx.selection.dict.entries[id];
+    ctx.counter("entries", image.entriesByRank.size());
+}
+
+void
+passLayout(PipelineContext &ctx)
+{
+    ctx.layout = std::make_unique<LayoutWork>(ctx.program, ctx.params,
+                                              ctx.config.scheme,
+                                              ctx.selection,
+                                              ctx.image.rankOfEntry);
+    ctx.layout->assignAddresses();
+    ctx.counter("items", ctx.layout->items().size());
+}
+
+void
+passBranchPatch(PipelineContext &ctx)
+{
+    uint32_t expansions = 0;
+    for (;;) {
+        uint32_t expanded = ctx.layout->expandFarBranches();
+        if (expanded == 0)
+            break;
+        expansions += expanded;
+    }
+    ctx.image.farBranchExpansions = expansions;
+    ctx.counter("far_branch_expansions", expansions);
+}
+
+void
+passEmit(PipelineContext &ctx)
+{
+    CompressedImage &image = ctx.image;
+    const LayoutWork &layout = *ctx.layout;
+    Scheme scheme = ctx.config.scheme;
+    image.selection = std::move(ctx.selection);
+
+    auto accountInstruction = [&image, scheme]() {
+        if (scheme == Scheme::Nibble)
+            image.composition.escapeNibbles += 1;
+        image.composition.insnNibbles += 8;
+    };
+
+    NibbleWriter writer;
+    const auto &items = layout.items();
+    for (size_t i = 0; i < items.size(); ++i) {
+        const LayoutItem &item = items[i];
+        CC_ASSERT(writer.nibbleCount() == layout.itemAddr()[i],
+                  "emission drifted from layout");
+        switch (item.kind) {
+          case LayoutItem::Kind::Insn: {
+            isa::Word word = item.word;
+            if (item.targetIndex != UINT32_MAX) {
+                isa::Inst inst = isa::decode(word);
+                inst.disp = layout.branchDisp(i);
+                inst.aa = false;
+                word = isa::encode(inst);
+            }
+            emitInstruction(writer, scheme, word);
+            accountInstruction();
+            break;
+          }
+          case LayoutItem::Kind::SynFixed:
+            emitInstruction(writer, scheme, item.word);
+            accountInstruction();
+            break;
+          case LayoutItem::Kind::SynLis:
+          case LayoutItem::Kind::SynOri: {
+            uint32_t pointer = CompressedImage::nibbleBase +
+                               layout.addrMap().at(item.targetIndex);
+            isa::Inst inst =
+                item.kind == LayoutItem::Kind::SynLis
+                    ? isa::lis(regFar,
+                               static_cast<int32_t>(static_cast<int16_t>(
+                                   pointer >> 16)))
+                    : isa::ori(regFar, regFar,
+                               static_cast<int32_t>(pointer & 0xffff));
+            emitInstruction(writer, scheme, isa::encode(inst));
+            accountInstruction();
+            break;
+          }
+          case LayoutItem::Kind::Codeword: {
+            uint32_t rank = image.rankOfEntry[item.entryId];
+            unsigned nibbles = codewordNibbles(scheme, rank);
+            emitCodeword(writer, scheme, rank);
+            if (scheme == Scheme::Baseline) {
+                image.composition.escapeNibbles += 2;
+                image.composition.codewordNibbles += 2;
+            } else {
+                image.composition.codewordNibbles += nibbles;
+            }
+            break;
+          }
+        }
+    }
+    image.textNibbles = writer.nibbleCount();
+    image.text = writer.bytes();
+    image.addrMap = layout.addrMap();
+    image.entryPointNibble = image.addrMap.at(ctx.program.entryIndex);
+    image.composition.dictNibbles = image.dictionaryBytes() * 2;
+
+    // The two size accountings must agree (DESIGN.md section 7).
+    CC_ASSERT(image.composition.totalNibbles() ==
+                  image.textNibbles + image.dictionaryBytes() * 2,
+              "composition does not sum to image size");
+
+    // ---- jump-table re-patch ----
+    image.data = ctx.program.data;
+    for (const CodeReloc &reloc : ctx.program.codeRelocs) {
+        uint32_t pointer = image.codePointer(reloc.targetIndex);
+        image.data[reloc.dataOffset] = static_cast<uint8_t>(pointer >> 24);
+        image.data[reloc.dataOffset + 1] =
+            static_cast<uint8_t>(pointer >> 16);
+        image.data[reloc.dataOffset + 2] =
+            static_cast<uint8_t>(pointer >> 8);
+        image.data[reloc.dataOffset + 3] = static_cast<uint8_t>(pointer);
+    }
+    ctx.counter("text_nibbles", image.textNibbles);
+    ctx.counter("code_relocs", ctx.program.codeRelocs.size());
+}
+
+// ---- pipeline ----
+
+Pipeline &
+Pipeline::addPass(std::string name, PassFn fn)
+{
+    passes_.push_back({std::move(name), std::move(fn)});
+    return *this;
+}
+
+PipelineStats
+Pipeline::run(PipelineContext &ctx) const
+{
+    PipelineStats stats;
+    stats.scheme = schemeName(ctx.config.scheme);
+    stats.passes.reserve(passes_.size());
+    for (const Pass &pass : passes_) {
+        PassStats &record = stats.passes.emplace_back();
+        record.name = pass.name;
+        ctx.activePass = &record;
+        auto start = std::chrono::steady_clock::now();
+        pass.fn(ctx);
+        auto end = std::chrono::steady_clock::now();
+        ctx.activePass = nullptr;
+        record.millis =
+            std::chrono::duration<double, std::milli>(end - start).count();
+    }
+    if (ctx.strategy) {
+        stats.strategy = ctx.strategy->name();
+        stats.selectionRounds = ctx.strategy->rounds();
+    }
+    return stats;
+}
+
+Pipeline
+Pipeline::standard()
+{
+    Pipeline pipeline;
+    pipeline.addPass("Enumerate", passEnumerate)
+        .addPass("Select", passSelect)
+        .addPass("RankAssign", passRankAssign)
+        .addPass("Layout", passLayout)
+        .addPass("BranchPatch", passBranchPatch)
+        .addPass("Emit", passEmit);
+    return pipeline;
+}
+
+Pipeline
+Pipeline::fromSelection()
+{
+    Pipeline pipeline;
+    pipeline.addPass("RankAssign", passRankAssign)
+        .addPass("Layout", passLayout)
+        .addPass("BranchPatch", passBranchPatch)
+        .addPass("Emit", passEmit);
+    return pipeline;
+}
+
+} // namespace codecomp::compress

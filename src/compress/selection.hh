@@ -8,6 +8,7 @@
 #define CODECOMP_COMPRESS_SELECTION_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "isa/inst.hh"
@@ -61,7 +62,9 @@ struct SelectionResult
  * where occ is the number of live non-overlapping occurrences. The
  * codeword cost is the scheme's true cost for fixed-length schemes and
  * an assumed cost for the nibble-aligned scheme, whose codeword lengths
- * depend on the final frequency ranking (DESIGN.md section 5.3).
+ * depend on the final frequency ranking; the IterativeRefit strategy
+ * replaces the assumption with rank-derived per-candidate costs
+ * (DESIGN.md section 5.3).
  */
 struct GreedyConfig
 {
@@ -74,6 +77,19 @@ struct GreedyConfig
     uint32_t dictEntryExtraNibbles = 0; //!< fixed per-entry overhead
                                         //!< (e.g. Liao's return insn)
 };
+
+/**
+ * Human-readable reason @p config cannot drive a selection, or "" if
+ * the config is valid. The selection entry points fatal() on a
+ * non-empty answer; CLI front ends check it (and their own flag
+ * ranges) first so the user gets a usage error, not an abort.
+ */
+std::string greedyConfigError(const GreedyConfig &config);
+
+/** Frequency ranking: most-used entry gets rank 0 (shortest codeword
+ *  under rank-aware encodings). Stable, so ties break toward the
+ *  earlier-selected entry. */
+std::vector<uint32_t> rankByUseCount(const SelectionResult &selection);
 
 } // namespace codecomp::compress
 

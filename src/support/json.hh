@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable output (pipeline
+ * pass statistics, PERF_JSON benchmark lines, ccompress --stats-json).
+ *
+ * The writer is a flat state machine over an output string: begin/end
+ * an object or array, write a key, write a value. Commas are inserted
+ * automatically; strings are escaped per RFC 8259. There is no reader
+ * -- the repo emits JSON for external tooling but never parses it.
+ */
+
+#ifndef CODECOMP_SUPPORT_JSON_HH
+#define CODECOMP_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codecomp {
+
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by a value or container. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text) { return value(std::string_view(text)); }
+    JsonWriter &value(double number);
+    JsonWriter &value(uint64_t number);
+    JsonWriter &value(int64_t number);
+    JsonWriter &value(uint32_t number) { return value(static_cast<uint64_t>(number)); }
+    JsonWriter &value(int number) { return value(static_cast<int64_t>(number)); }
+    JsonWriter &value(bool flag);
+
+    /** key(name) + value(v) in one call. */
+    template <typename V>
+    JsonWriter &
+    member(std::string_view name, V &&v)
+    {
+        key(name);
+        return value(std::forward<V>(v));
+    }
+
+    /** The serialized document; valid once every container is closed. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    std::vector<bool> hasPrior_; //!< per open container: wrote an element
+    bool afterKey_ = false;
+};
+
+/** Escape @p text as the contents of a JSON string (no quotes added). */
+std::string jsonEscape(std::string_view text);
+
+} // namespace codecomp
+
+#endif // CODECOMP_SUPPORT_JSON_HH

@@ -2,7 +2,8 @@
  * @file
  * Tests for the support substrate: nibble/bit stream writers and
  * readers (the carrier of every compressed program), the worker pool
- * behind every parallel stage, and the deterministic RNG.
+ * behind every parallel stage, the deterministic RNG, and the JSON
+ * writer used for pipeline statistics and benchmark output.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include <stdexcept>
 
 #include "support/bitstream.hh"
+#include "support/json.hh"
 #include "support/rng.hh"
 #include "support/thread_pool.hh"
 
@@ -236,6 +238,56 @@ TEST(Rng, DifferentSeedsDiverge)
     for (int i = 0; i < 50; ++i)
         differ += a.next() != b.next();
     EXPECT_GT(differ, 45);
+}
+
+TEST(JsonWriter, ObjectsArraysAndValues)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.member("name", "pipeline");
+    json.member("count", static_cast<uint64_t>(42));
+    json.member("delta", static_cast<int64_t>(-7));
+    json.member("ratio", 0.5);
+    json.member("ok", true);
+    json.key("passes");
+    json.beginArray();
+    json.value("a");
+    json.value("b");
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              "{\"name\":\"pipeline\",\"count\":42,\"delta\":-7,"
+              "\"ratio\":0.5,\"ok\":true,\"passes\":[\"a\",\"b\"]}");
+}
+
+TEST(JsonWriter, NestedContainersSeparateCorrectly)
+{
+    JsonWriter json;
+    json.beginArray();
+    json.beginObject();
+    json.member("x", 1);
+    json.endObject();
+    json.beginObject();
+    json.member("y", 2);
+    json.endObject();
+    json.beginArray();
+    json.endArray();
+    json.endArray();
+    EXPECT_EQ(json.str(), "[{\"x\":1},{\"y\":2},[]]");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01")), "nul\\u0001");
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("k\"ey", "v\nal");
+    json.endObject();
+    EXPECT_EQ(json.str(), "{\"k\\\"ey\":\"v\\nal\"}");
 }
 
 } // namespace

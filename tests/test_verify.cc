@@ -83,6 +83,42 @@ INSTANTIATE_TEST_SUITE_P(
                schemeId(std::get<1>(info.param));
     });
 
+// The IterativeRefit strategy picks a different dictionary than plain
+// greedy; lockstep every workload under it too so the rank-aware
+// selection gets the same differential coverage.
+class LockstepRefitWorkloads
+    : public ::testing::TestWithParam<std::tuple<std::string, Scheme>>
+{};
+
+TEST_P(LockstepRefitWorkloads, VerifiesWithZeroDivergences)
+{
+    const auto &[name, scheme] = GetParam();
+    Program p = workloads::buildBenchmark(name);
+    CompressorConfig config;
+    config.scheme = scheme;
+    config.strategy = StrategyKind::IterativeRefit;
+    CompressedImage image = compressProgram(p, config);
+
+    verify::LockstepResult result = verify::runLockstep(p, image);
+    EXPECT_TRUE(result.ok()) << verify::formatReport(result);
+    EXPECT_TRUE(result.nativeHalted);
+    EXPECT_TRUE(result.compressedHalted);
+    EXPECT_EQ(result.verifiedInsts, result.native.instCount);
+    EXPECT_EQ(result.native.output, result.compressed.output);
+    EXPECT_EQ(result.native.exitCode, result.compressed.exitCode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, LockstepRefitWorkloads,
+    ::testing::Combine(
+        ::testing::ValuesIn(workloads::benchmarkNames()),
+        ::testing::Values(Scheme::Baseline, Scheme::OneByte,
+                          Scheme::Nibble)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               schemeId(std::get<1>(info.param));
+    });
+
 // ---------------- far-branch stubs ----------------
 
 TEST(LockstepFarBranch, SyntheticStubInstructionsAreVerified)

@@ -3,16 +3,22 @@
  * ccompress -- compress linked .ccp programs into .cci images.
  *
  *   ccompress prog.ccp -o prog.cci [--scheme baseline|onebyte|nibble]
- *             [--max-entries N] [--max-len N] [--jobs N] [--stats]
+ *             [--strategy greedy|reference|refit] [--max-entries N]
+ *             [--max-len N] [--jobs N] [--stats] [--stats-json file]
  *   ccompress a.ccp b.ccp ... -o outdir/ [options]
  *
  * With several inputs the output names an existing directory (or a
  * path ending in '/'), each program is written there as <stem>.cci,
  * and the compressions run concurrently on the worker pool. --jobs N
  * (default: CODECOMP_JOBS, then hardware_concurrency) caps the pool;
- * the compressed bytes are identical for every job count.
+ * the compressed bytes are identical for every job count and every
+ * strategy is deterministic.
+ *
+ * --stats-json writes a JSON array with one record per input: sizes,
+ * ratio, and the pipeline's per-pass wall time and counters.
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +27,8 @@
 #include "analysis/analysis.hh"
 #include "compress/compressor.hh"
 #include "compress/objfile.hh"
+#include "compress/pipeline.hh"
+#include "support/json.hh"
 #include "support/serialize.hh"
 #include "support/thread_pool.hh"
 
@@ -33,8 +41,22 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: ccompress <in.ccp>... -o <out.cci | outdir/> "
-                 "[--scheme baseline|onebyte|nibble] [--max-entries N] "
-                 "[--max-len N] [--jobs N] [--stats]\n");
+                 "[--scheme baseline|onebyte|nibble] "
+                 "[--strategy greedy|reference|refit] [--max-entries N] "
+                 "[--max-len N] [--jobs N] [--stats] "
+                 "[--stats-json <file>]\n");
+    return 2;
+}
+
+int
+badArg(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fputs("ccompress: ", stderr);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
     return 2;
 }
 
@@ -53,6 +75,7 @@ stemOf(const std::string &path)
 struct CompressReport
 {
     std::string text;
+    std::string json; //!< one --stats-json record, "" on failure
     bool failed = false;
 };
 
@@ -97,6 +120,25 @@ appendSummary(CompressReport &report, const std::string &input,
     }
 }
 
+/** One --stats-json record; the pipeline stats are already JSON. */
+std::string
+jsonRecord(const std::string &input, const std::string &output,
+           const compress::CompressedImage &image,
+           const compress::PipelineStats &stats)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"total_bytes\":%zu,\"text_bytes\":%zu,"
+                  "\"dict_bytes\":%zu,\"ratio\":%.6f,"
+                  "\"far_branch_expansions\":%u,",
+                  image.totalBytes(), image.compressedTextBytes(),
+                  image.dictionaryBytes(), image.compressionRatio(),
+                  image.farBranchExpansions);
+    return "{\"input\":\"" + jsonEscape(input) + "\",\"output\":\"" +
+           jsonEscape(output) + "\"," + buf +
+           "\"pipeline\":" + stats.toJson() + "}";
+}
+
 } // namespace
 
 int
@@ -104,7 +146,9 @@ main(int argc, char **argv)
 {
     std::vector<std::string> inputs;
     std::string output;
+    std::string statsJsonPath;
     bool stats = false;
+    long maxEntriesArg = -1; // unset; validated against the scheme below
     compress::CompressorConfig config;
     config.scheme = compress::Scheme::Nibble;
     config.maxEntries = 4680;
@@ -122,20 +166,33 @@ main(int argc, char **argv)
             else if (scheme == "nibble")
                 config.scheme = compress::Scheme::Nibble;
             else
-                return usage();
+                return badArg("unknown scheme '%s' (expected baseline, "
+                              "onebyte, or nibble)",
+                              scheme.c_str());
+        } else if (arg == "--strategy" && i + 1 < argc) {
+            std::string name = argv[++i];
+            auto kind = compress::parseStrategyName(name);
+            if (!kind)
+                return badArg("unknown strategy '%s' (expected greedy, "
+                              "reference, or refit)",
+                              name.c_str());
+            config.strategy = *kind;
         } else if (arg == "--max-entries" && i + 1 < argc) {
-            config.maxEntries =
-                static_cast<uint32_t>(std::atoi(argv[++i]));
+            maxEntriesArg = std::atol(argv[++i]);
         } else if (arg == "--max-len" && i + 1 < argc) {
-            config.maxEntryLen =
-                static_cast<uint32_t>(std::atoi(argv[++i]));
+            long len = std::atol(argv[++i]);
+            if (len < 1)
+                return badArg("--max-len must be at least 1");
+            config.maxEntryLen = static_cast<uint32_t>(len);
         } else if (arg == "--jobs" && i + 1 < argc) {
             int jobs = std::atoi(argv[++i]);
             if (jobs < 1)
-                return usage();
+                return badArg("--jobs must be at least 1");
             setGlobalJobs(static_cast<unsigned>(jobs));
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--stats-json" && i + 1 < argc) {
+            statsJsonPath = argv[++i];
         } else if (!arg.empty() && arg[0] != '-') {
             inputs.push_back(arg);
         } else {
@@ -144,6 +201,17 @@ main(int argc, char **argv)
     }
     if (inputs.empty() || output.empty())
         return usage();
+    // --max-entries is validated against the final scheme (the flags
+    // may come in any order) rather than silently clipped.
+    if (maxEntriesArg != -1) {
+        long max = compress::schemeParams(config.scheme).maxCodewords;
+        if (maxEntriesArg < 1 || maxEntriesArg > max)
+            return badArg("--max-entries %ld out of range for scheme "
+                          "%s (1..%ld)",
+                          maxEntriesArg,
+                          compress::schemeName(config.scheme), max);
+        config.maxEntries = static_cast<uint32_t>(maxEntriesArg);
+    }
     bool outdir = output.back() == '/';
     if (inputs.size() > 1 && !outdir) {
         std::fprintf(stderr,
@@ -154,6 +222,7 @@ main(int argc, char **argv)
 
     // Each input is an independent compress; fan the batch out across
     // the pool and print reports in input order.
+    bool wantJson = !statsJsonPath.empty();
     std::vector<CompressReport> reports = parallelMap<CompressReport>(
         inputs.size(), [&](size_t i) {
             const std::string &input = inputs[i];
@@ -163,10 +232,14 @@ main(int argc, char **argv)
             CompressReport report;
             try {
                 Program program = loadProgram(readFile(input));
+                compress::PipelineStats pipeStats;
                 compress::CompressedImage image =
-                    compress::compressProgram(program, config);
+                    compress::compressProgram(program, config,
+                                              &pipeStats);
                 writeFile(out, saveImage(image));
                 appendSummary(report, input, out, image, stats);
+                if (wantJson)
+                    report.json = jsonRecord(input, out, image, pipeStats);
             } catch (const std::exception &error) {
                 report.text = std::string("ccompress: ") + input + ": " +
                               error.what() + "\n";
@@ -176,11 +249,21 @@ main(int argc, char **argv)
         });
 
     int status = 0;
+    std::string jsonOut = "[";
     for (const CompressReport &report : reports) {
         std::fputs(report.text.c_str(),
                    report.failed ? stderr : stdout);
         if (report.failed)
             status = 1;
+        if (!report.json.empty()) {
+            if (jsonOut.size() > 1)
+                jsonOut += ",";
+            jsonOut += report.json;
+        }
     }
+    jsonOut += "]\n";
+    if (wantJson && status == 0)
+        writeFile(statsJsonPath,
+                  std::vector<uint8_t>(jsonOut.begin(), jsonOut.end()));
     return status;
 }

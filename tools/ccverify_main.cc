@@ -12,6 +12,7 @@
  *
  * Options:
  *   --scheme baseline|onebyte|nibble|all   scheme(s) to verify (all)
+ *   --strategy greedy|reference|refit   selection strategy (greedy)
  *   --max-steps N        instruction budget per run
  *   --window N           retired instructions of history per side
  *   --max-divergences N  stop after N divergences
@@ -45,7 +46,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: ccverify <prog.ccp> | --benchmark <name>\n"
-        "  [--scheme baseline|onebyte|nibble|all] [--max-steps N]\n"
+        "  [--scheme baseline|onebyte|nibble|all]\n"
+        "  [--strategy greedy|reference|refit] [--max-steps N]\n"
         "  [--window N] [--max-divergences N] [--check-interval N]\n"
         "  [--inject dict|rank|disp|all] [--seed N]\n");
     return 2;
@@ -62,15 +64,18 @@ hasMagic(const std::vector<uint8_t> &bytes, const char *magic)
 /** One clean lockstep run; returns true if it verified. */
 bool
 verifyScheme(const Program &program, compress::Scheme scheme,
+             compress::StrategyKind strategy,
              const verify::LockstepConfig &config)
 {
     compress::CompressorConfig cc;
     cc.scheme = scheme;
+    cc.strategy = strategy;
     compress::CompressedImage image =
         compress::compressProgram(program, cc);
     verify::LockstepResult result =
         verify::runLockstep(program, image, config);
-    std::printf("[%s] %s", compress::schemeName(scheme),
+    std::printf("[%s/%s] %s", compress::schemeName(scheme),
+                compress::strategyName(strategy),
                 verify::formatReport(result).c_str());
     return result.ok();
 }
@@ -78,11 +83,12 @@ verifyScheme(const Program &program, compress::Scheme scheme,
 /** Fault-injection self-test: the run must diverge and say why. */
 bool
 verifyInjected(const Program &program, compress::Scheme scheme,
-               verify::FaultKind kind, uint64_t seed,
-               const verify::LockstepConfig &config)
+               compress::StrategyKind strategy, verify::FaultKind kind,
+               uint64_t seed, const verify::LockstepConfig &config)
 {
     compress::CompressorConfig cc;
     cc.scheme = scheme;
+    cc.strategy = strategy;
     compress::CompressedImage image =
         compress::compressProgram(program, cc);
     verify::FaultInjection fault =
@@ -107,6 +113,7 @@ int
 main(int argc, char **argv)
 {
     std::string input, benchmark, scheme_arg = "all", inject_arg;
+    compress::StrategyKind strategy = compress::StrategyKind::Greedy;
     uint64_t seed = 1;
     verify::LockstepConfig config;
 
@@ -116,6 +123,11 @@ main(int argc, char **argv)
             benchmark = argv[++i];
         } else if (arg == "--scheme" && i + 1 < argc) {
             scheme_arg = argv[++i];
+        } else if (arg == "--strategy" && i + 1 < argc) {
+            auto kind = compress::parseStrategyName(argv[++i]);
+            if (!kind)
+                return usage();
+            strategy = *kind;
         } else if (arg == "--max-steps" && i + 1 < argc) {
             config.maxSteps =
                 static_cast<uint64_t>(std::atoll(argv[++i]));
@@ -189,11 +201,11 @@ main(int argc, char **argv)
         bool ok = true;
         for (compress::Scheme scheme : schemes) {
             if (kinds.empty()) {
-                ok = verifyScheme(program, scheme, config) && ok;
+                ok = verifyScheme(program, scheme, strategy, config) && ok;
             } else {
                 for (verify::FaultKind kind : kinds)
-                    ok = verifyInjected(program, scheme, kind, seed,
-                                        config) &&
+                    ok = verifyInjected(program, scheme, strategy, kind,
+                                        seed, config) &&
                          ok;
             }
         }
