@@ -203,6 +203,46 @@ decodeCodeword(NibbleReader &reader, Scheme scheme)
     CC_PANIC("bad scheme");
 }
 
+std::optional<unsigned>
+peekItemNibbles(NibbleReader reader, Scheme scheme)
+{
+    size_t remaining = reader.size() - reader.pos();
+    auto fits = [&](unsigned need) -> std::optional<unsigned> {
+        if (need > remaining)
+            return std::nullopt;
+        return need;
+    };
+    switch (scheme) {
+      case Scheme::Baseline: {
+        if (remaining < 2)
+            return std::nullopt;
+        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
+        return fits(escapeGroup(first) ? 4u : 8u);
+      }
+      case Scheme::OneByte: {
+        if (remaining < 2)
+            return std::nullopt;
+        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
+        return fits(escapeGroup(first) ? 2u : 8u);
+      }
+      case Scheme::Nibble: {
+        if (remaining < 1)
+            return std::nullopt;
+        uint8_t n0 = reader.getNibble();
+        if (n0 < 8)
+            return fits(1);
+        if (n0 < 12)
+            return fits(2);
+        if (n0 < 14)
+            return fits(3);
+        if (n0 == 14)
+            return fits(4);
+        return fits(9); // escape nibble + 8-nibble instruction
+      }
+    }
+    CC_PANIC("bad scheme");
+}
+
 const char *
 schemeName(Scheme scheme)
 {

@@ -68,6 +68,15 @@ void emitInstruction(NibbleWriter &writer, Scheme scheme, uint32_t word);
  */
 std::optional<uint32_t> decodeCodeword(NibbleReader &reader, Scheme scheme);
 
+/**
+ * Nibble length of the item starting at @p reader's cursor (escape
+ * included), or std::nullopt if the remaining stream cannot hold the
+ * whole item. Pure lookahead (the reader is taken by value); the image
+ * validator and the engine's scan use it to classify truncated streams
+ * before decodeCodeword would read off the end.
+ */
+std::optional<unsigned> peekItemNibbles(NibbleReader reader, Scheme scheme);
+
 const char *schemeName(Scheme scheme);
 
 } // namespace codecomp::compress

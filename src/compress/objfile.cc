@@ -1,5 +1,9 @@
 #include "compress/objfile.hh"
 
+#include <cinttypes>
+#include <cstdio>
+
+#include "isa/inst.hh"
 #include "support/serialize.hh"
 
 namespace codecomp {
@@ -8,7 +12,10 @@ namespace {
 
 constexpr uint32_t programMagic = 0x43435052;   // "CCPR"
 constexpr uint32_t imageMagic = 0x4343494d;     // "CCIM"
-constexpr uint32_t formatVersion = 1;
+// v2 wraps the payload in a 64-bit FNV-1a checksum; v1 files (no
+// checksum) are no longer accepted -- nothing outside this repository
+// ever produced them.
+constexpr uint32_t formatVersion = 2;
 
 void
 putRange(ByteSink &sink, const InstRange &range)
@@ -26,15 +33,74 @@ getRange(ByteSource &source)
     return range;
 }
 
+LoadError
+badValue(const ByteSource &source, std::string detail)
+{
+    return LoadError{LoadStatus::BadValue, source.pos(), source.context(),
+                     std::move(detail)};
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+    return buf;
+}
+
+/**
+ * Parse and verify the common v2 container: magic, version, checksum,
+ * payload blob, no trailing bytes. On success the checksummed payload
+ * is left in @p payload.
+ */
+std::optional<LoadError>
+openContainer(const std::vector<uint8_t> &bytes, uint32_t magic,
+              const char *what, std::vector<uint8_t> &payload)
+{
+    ByteSource source(bytes);
+    source.setContext(std::string(what) + " header");
+    if (source.get32() != magic)
+        return LoadError{LoadStatus::BadMagic, 0, source.context(),
+                         std::string("not a ") + what + " file"};
+    uint32_t version = source.get32();
+    if (version != formatVersion)
+        return LoadError{LoadStatus::BadVersion, 4, source.context(),
+                         "unsupported " + std::string(what) + " version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(formatVersion) + ")"};
+    uint64_t stored = source.get64();
+    payload = source.getBlob();
+    if (!source.atEnd())
+        return LoadError{LoadStatus::TrailingBytes, source.pos(),
+                         source.context(),
+                         std::to_string(source.remaining()) +
+                             " byte(s) after the payload"};
+    uint64_t computed = fnv1a64(payload);
+    if (computed != stored)
+        return LoadError{LoadStatus::BadChecksum, 8, source.context(),
+                         "stored " + hex64(stored) + " != computed " +
+                             hex64(computed)};
+    return std::nullopt;
+}
+
+/** Wrap a finished payload in the v2 container. */
+std::vector<uint8_t>
+sealContainer(uint32_t magic, std::vector<uint8_t> payload)
+{
+    ByteSink sink;
+    sink.put32(magic);
+    sink.put32(formatVersion);
+    sink.put64(fnv1a64(payload));
+    sink.putBlob(payload);
+    return sink.take();
+}
+
 } // namespace
 
 std::vector<uint8_t>
 saveProgram(const Program &program)
 {
     ByteSink sink;
-    sink.put32(programMagic);
-    sink.put32(formatVersion);
-
     sink.put32(static_cast<uint32_t>(program.text.size()));
     for (isa::Word word : program.text)
         sink.put32(word);
@@ -58,60 +124,94 @@ saveProgram(const Program &program)
     }
 
     sink.put32(program.entryIndex);
-    return sink.take();
+    return sealContainer(programMagic, sink.take());
+}
+
+Result<Program>
+tryLoadProgram(const std::vector<uint8_t> &bytes)
+{
+    std::vector<uint8_t> payload;
+    try {
+        if (std::optional<LoadError> error =
+                openContainer(bytes, programMagic, ".ccp program", payload))
+            return *error;
+
+        ByteSource source(payload);
+        source.setContext(".ccp payload");
+
+        Program program;
+        uint32_t text_count = source.get32();
+        // Bound declared counts by the remaining payload before any
+        // reserve: a lying count must fail cleanly, not allocate.
+        if (text_count > source.remaining() / 4)
+            return badValue(source,
+                            "declared " + std::to_string(text_count) +
+                                " instructions exceed the payload");
+        program.text.reserve(text_count);
+        for (uint32_t i = 0; i < text_count; ++i)
+            program.text.push_back(source.get32());
+
+        program.data = source.getBlob();
+
+        uint32_t reloc_count = source.get32();
+        if (reloc_count > source.remaining() / 8)
+            return badValue(source,
+                            "declared " + std::to_string(reloc_count) +
+                                " relocations exceed the payload");
+        program.codeRelocs.reserve(reloc_count);
+        for (uint32_t i = 0; i < reloc_count; ++i) {
+            CodeReloc reloc;
+            reloc.dataOffset = source.get32();
+            reloc.targetIndex = source.get32();
+            program.codeRelocs.push_back(reloc);
+        }
+
+        uint32_t fn_count = source.get32();
+        for (uint32_t i = 0; i < fn_count; ++i) {
+            FunctionSymbol fn;
+            fn.name = source.getString();
+            fn.body = getRange(source);
+            fn.prologue = getRange(source);
+            uint32_t ep_count = source.get32();
+            if (ep_count > source.remaining() / 8)
+                return badValue(source,
+                                "declared " + std::to_string(ep_count) +
+                                    " epilogues exceed the payload");
+            fn.epilogues.reserve(ep_count);
+            for (uint32_t e = 0; e < ep_count; ++e)
+                fn.epilogues.push_back(getRange(source));
+            program.functions.push_back(std::move(fn));
+        }
+
+        program.entryIndex = source.get32();
+        if (!source.atEnd())
+            return LoadError{LoadStatus::TrailingBytes, source.pos(),
+                             source.context(),
+                             std::to_string(source.remaining()) +
+                                 " byte(s) after the program fields"};
+
+        program.computeDataBase();
+        if (std::optional<LoadError> error = program.validate())
+            return *error;
+        return program;
+    } catch (const LoadFailure &failure) {
+        return failure.error();
+    }
 }
 
 Program
 loadProgram(const std::vector<uint8_t> &bytes)
 {
-    ByteSource source(bytes);
-    if (source.get32() != programMagic)
-        CC_FATAL("not a .ccp program file");
-    if (source.get32() != formatVersion)
-        CC_FATAL("unsupported .ccp version");
-
-    Program program;
-    uint32_t text_count = source.get32();
-    program.text.reserve(text_count);
-    for (uint32_t i = 0; i < text_count; ++i)
-        program.text.push_back(source.get32());
-
-    program.data = source.getBlob();
-
-    uint32_t reloc_count = source.get32();
-    for (uint32_t i = 0; i < reloc_count; ++i) {
-        CodeReloc reloc;
-        reloc.dataOffset = source.get32();
-        reloc.targetIndex = source.get32();
-        program.codeRelocs.push_back(reloc);
-    }
-
-    uint32_t fn_count = source.get32();
-    for (uint32_t i = 0; i < fn_count; ++i) {
-        FunctionSymbol fn;
-        fn.name = source.getString();
-        fn.body = getRange(source);
-        fn.prologue = getRange(source);
-        uint32_t ep_count = source.get32();
-        for (uint32_t e = 0; e < ep_count; ++e)
-            fn.epilogues.push_back(getRange(source));
-        program.functions.push_back(std::move(fn));
-    }
-
-    program.entryIndex = source.get32();
-    if (!source.atEnd())
-        CC_FATAL("trailing bytes in .ccp file");
-    program.finalize(); // validates everything and sets dataBase
-    return program;
+    Result<Program> result = tryLoadProgram(bytes);
+    if (!result.ok())
+        throw LoadFailure(result.error());
+    return result.take();
 }
 
 std::vector<uint8_t>
 saveImage(const compress::CompressedImage &image)
 {
     ByteSink sink;
-    sink.put32(imageMagic);
-    sink.put32(formatVersion);
-
     sink.put8(static_cast<uint8_t>(image.scheme));
     sink.put64(image.textNibbles);
     sink.putBlob(image.text);
@@ -128,52 +228,204 @@ saveImage(const compress::CompressedImage &image)
     sink.put32(image.entryPointNibble);
     sink.put32(image.originalTextBytes);
     sink.put32(image.farBranchExpansions);
-    return sink.take();
+    return sealContainer(imageMagic, sink.take());
+}
+
+Result<compress::CompressedImage>
+tryLoadImage(const std::vector<uint8_t> &bytes)
+{
+    std::vector<uint8_t> payload;
+    try {
+        if (std::optional<LoadError> error =
+                openContainer(bytes, imageMagic, ".cci image", payload))
+            return *error;
+
+        ByteSource source(payload);
+        source.setContext(".cci payload");
+
+        compress::CompressedImage image;
+        uint8_t scheme = source.get8();
+        if (scheme > static_cast<uint8_t>(compress::Scheme::Nibble))
+            return badValue(source, "bad scheme byte " +
+                                        std::to_string(scheme));
+        image.scheme = static_cast<compress::Scheme>(scheme);
+        image.textNibbles = source.get64();
+        image.text = source.getBlob();
+
+        uint32_t entries = source.get32();
+        if (entries > compress::schemeParams(image.scheme).maxCodewords)
+            return badValue(
+                source,
+                std::to_string(entries) +
+                    " dictionary entries exceed the scheme ceiling of " +
+                    std::to_string(
+                        compress::schemeParams(image.scheme).maxCodewords));
+        image.entriesByRank.resize(entries);
+        for (auto &entry : image.entriesByRank) {
+            uint32_t length = source.get32();
+            if (length == 0 || length > maxImageEntryWords)
+                return badValue(source,
+                                "dictionary entry length " +
+                                    std::to_string(length) +
+                                    " outside 1.." +
+                                    std::to_string(maxImageEntryWords));
+            if (length > source.remaining() / 4)
+                return badValue(source,
+                                "dictionary entry of " +
+                                    std::to_string(length) +
+                                    " words exceeds the payload");
+            entry.reserve(length);
+            for (uint32_t k = 0; k < length; ++k)
+                entry.push_back(source.get32());
+        }
+
+        image.data = source.getBlob();
+        image.dataBase = source.get32();
+        image.entryPointNibble = source.get32();
+        image.originalTextBytes = source.get32();
+        image.farBranchExpansions = source.get32();
+        if (!source.atEnd())
+            return LoadError{LoadStatus::TrailingBytes, source.pos(),
+                             source.context(),
+                             std::to_string(source.remaining()) +
+                                 " byte(s) after the image fields"};
+
+        if (std::optional<LoadError> error = validateImage(image))
+            return *error;
+        return image;
+    } catch (const LoadFailure &failure) {
+        return failure.error();
+    }
 }
 
 compress::CompressedImage
 loadImage(const std::vector<uint8_t> &bytes)
 {
-    ByteSource source(bytes);
-    if (source.get32() != imageMagic)
-        CC_FATAL("not a .cci image file");
-    if (source.get32() != formatVersion)
-        CC_FATAL("unsupported .cci version");
+    Result<compress::CompressedImage> result = tryLoadImage(bytes);
+    if (!result.ok())
+        throw LoadFailure(result.error());
+    return result.take();
+}
 
-    compress::CompressedImage image;
-    uint8_t scheme = source.get8();
-    if (scheme > static_cast<uint8_t>(compress::Scheme::Nibble))
-        CC_FATAL("bad scheme in .cci file");
-    image.scheme = static_cast<compress::Scheme>(scheme);
-    image.textNibbles = source.get64();
-    image.text = source.getBlob();
+std::optional<LoadError>
+validateImage(const compress::CompressedImage &image)
+{
+    auto invalid = [](std::string detail) {
+        return LoadError{LoadStatus::BadValue, 0, "compressed image",
+                         std::move(detail)};
+    };
+
+    if (static_cast<uint8_t>(image.scheme) >
+        static_cast<uint8_t>(compress::Scheme::Nibble))
+        return invalid("bad scheme value " +
+                       std::to_string(static_cast<int>(image.scheme)));
+    const compress::SchemeParams params = compress::schemeParams(image.scheme);
+
     // The byte blob must match the declared nibble count exactly: at
     // most one pad nibble (in the last byte's low half). Anything else
     // would let phantom nibbles reach the decoder.
     if (image.text.size() != (image.textNibbles + 1) / 2)
-        CC_FATAL("nibble count does not match stream size in .cci file");
+        return invalid("nibble count " +
+                       std::to_string(image.textNibbles) +
+                       " does not match stream of " +
+                       std::to_string(image.text.size()) + " bytes");
+    if (image.textNibbles % 2 != 0 &&
+        (image.text.back() & 0x0f) != 0)
+        return invalid("nonzero pad nibble after an odd-length stream");
 
-    uint32_t entries = source.get32();
-    if (entries > compress::schemeParams(image.scheme).maxCodewords)
-        CC_FATAL("too many dictionary entries in .cci file");
-    image.entriesByRank.resize(entries);
-    for (auto &entry : image.entriesByRank) {
-        uint32_t length = source.get32();
-        if (length == 0 || length > 64)
-            CC_FATAL("bad dictionary entry length in .cci file");
-        entry.reserve(length);
-        for (uint32_t k = 0; k < length; ++k)
-            entry.push_back(source.get32());
+    // Dictionary: ceiling, entry lengths, and entry word legality. A
+    // relative branch inside an entry can never execute correctly (the
+    // expansion has no stream position of its own), so it is rejected
+    // here rather than trapped later.
+    if (image.entriesByRank.size() > params.maxCodewords)
+        return invalid(std::to_string(image.entriesByRank.size()) +
+                       " dictionary entries exceed the scheme ceiling of " +
+                       std::to_string(params.maxCodewords));
+    for (size_t rank = 0; rank < image.entriesByRank.size(); ++rank) {
+        const std::vector<isa::Word> &entry = image.entriesByRank[rank];
+        if (entry.empty() || entry.size() > maxImageEntryWords)
+            return invalid("dictionary entry " + std::to_string(rank) +
+                           " has " + std::to_string(entry.size()) +
+                           " words (format allows 1.." +
+                           std::to_string(maxImageEntryWords) + ")");
+        for (size_t slot = 0; slot < entry.size(); ++slot) {
+            isa::Inst inst = isa::decode(entry[slot]);
+            if (inst.op == isa::Op::Illegal)
+                return invalid("dictionary entry " + std::to_string(rank) +
+                               " slot " + std::to_string(slot) +
+                               " does not decode to a legal instruction");
+            if (inst.isRelativeBranch())
+                return invalid("dictionary entry " + std::to_string(rank) +
+                               " slot " + std::to_string(slot) +
+                               " is a relative branch");
+        }
     }
 
-    image.data = source.getBlob();
-    image.dataBase = source.get32();
-    image.entryPointNibble = source.get32();
-    image.originalTextBytes = source.get32();
-    image.farBranchExpansions = source.get32();
-    if (!source.atEnd())
-        CC_FATAL("trailing bytes in .cci file");
-    return image;
+    // Walk the stream exactly as the decompression engine's scan would,
+    // but with explicit lookahead so malformed streams produce typed
+    // errors instead of machine checks. Collect the item boundaries for
+    // the branch-target and entry-point checks below.
+    std::vector<bool> boundary(image.textNibbles, false);
+    struct StreamBranch
+    {
+        uint32_t addr;
+        int32_t disp;
+    };
+    std::vector<StreamBranch> branches;
+    NibbleReader reader(image.text.data(), image.textNibbles);
+    while (!reader.atEnd()) {
+        uint32_t addr = static_cast<uint32_t>(reader.pos());
+        if (!compress::peekItemNibbles(reader, image.scheme))
+            return invalid("stream ends mid-item at nibble " +
+                           std::to_string(addr));
+        boundary[addr] = true;
+        auto rank = compress::decodeCodeword(reader, image.scheme);
+        if (rank) {
+            if (*rank >= image.entriesByRank.size())
+                return invalid("codeword at nibble " +
+                               std::to_string(addr) + " names rank " +
+                               std::to_string(*rank) +
+                               " beyond the dictionary of " +
+                               std::to_string(image.entriesByRank.size()) +
+                               " entries");
+            continue;
+        }
+        isa::Word word = reader.getWord();
+        isa::Inst inst = isa::decode(word);
+        if (inst.op == isa::Op::Illegal)
+            return invalid("stream instruction at nibble " +
+                           std::to_string(addr) +
+                           " does not decode to a legal instruction");
+        if (inst.isRelativeBranch())
+            branches.push_back({addr, inst.disp});
+    }
+
+    if (image.entryPointNibble >= image.textNibbles ||
+        !boundary[image.entryPointNibble])
+        return invalid("entry point nibble " +
+                       std::to_string(image.entryPointNibble) +
+                       " is not an item boundary");
+
+    for (const StreamBranch &branch : branches) {
+        int64_t target = static_cast<int64_t>(branch.addr) +
+                         static_cast<int64_t>(branch.disp) *
+                             params.unitNibbles;
+        if (target < 0 ||
+            target >= static_cast<int64_t>(image.textNibbles) ||
+            !boundary[static_cast<size_t>(target)])
+            return invalid("branch at nibble " +
+                           std::to_string(branch.addr) + " targets nibble " +
+                           std::to_string(target) +
+                           ", not an item boundary");
+    }
+
+    if (static_cast<uint64_t>(image.dataBase) + image.data.size() >
+        isa::addressSpaceBytes)
+        return invalid(".data of " + std::to_string(image.data.size()) +
+                       " bytes at base " + std::to_string(image.dataBase) +
+                       " does not fit the address space");
+
+    return std::nullopt;
 }
 
 } // namespace codecomp

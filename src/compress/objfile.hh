@@ -11,6 +11,17 @@
  * address map, composition) are not persisted; a loaded image
  * executes, but the dictionary-usage analyses require the in-memory
  * result of compressProgram().
+ *
+ * Format v2 wraps the payload of both file types in an FNV-1a64
+ * whole-payload checksum, so any byte-level corruption of a stored
+ * file is rejected at load with a BadChecksum diagnostic. Loaded
+ * payloads are then structurally validated (validateImage /
+ * Program::validate) so that even a payload with a freshly recomputed
+ * checksum -- or an in-memory image -- cannot reach the processors
+ * with out-of-range dictionary indices, truncated streams, or branch
+ * targets off item boundaries. The tryLoad* entry points report all of
+ * this as typed LoadErrors; loadProgram/loadImage are thin throwing
+ * wrappers.
  */
 
 #ifndef CODECOMP_COMPRESS_OBJFILE_HH
@@ -18,18 +29,48 @@
 
 #include "compress/image.hh"
 #include "program/program.hh"
+#include "support/serialize.hh"
 
 namespace codecomp {
 
 /** @{ Program (.ccp) serialization. */
 std::vector<uint8_t> saveProgram(const Program &program);
+Result<Program> tryLoadProgram(const std::vector<uint8_t> &bytes);
 Program loadProgram(const std::vector<uint8_t> &bytes);
 /** @} */
 
 /** @{ Compressed image (.cci) serialization. */
 std::vector<uint8_t> saveImage(const compress::CompressedImage &image);
+Result<compress::CompressedImage>
+tryLoadImage(const std::vector<uint8_t> &bytes);
 compress::CompressedImage loadImage(const std::vector<uint8_t> &bytes);
 /** @} */
+
+/** Largest dictionary entry the file format accepts, in words. */
+constexpr uint32_t maxImageEntryWords = 64;
+
+/**
+ * Full structural validation of a compressed image, as a hardware
+ * loader would perform before handing the ROM to the fetch stage:
+ *
+ *  - the byte blob matches the declared nibble count, with a zero pad
+ *    nibble when the count is odd;
+ *  - the dictionary fits the scheme's codeword ceiling, every entry
+ *    has 1..maxImageEntryWords words, every word decodes to a legal
+ *    ppclite instruction, and no entry contains a relative branch;
+ *  - the stream parses end to end (no item runs off the end), every
+ *    codeword's rank indexes the dictionary, and every uncompressed
+ *    word decodes;
+ *  - every relative branch in the stream (and the entry point) lands
+ *    on an item boundary inside the text;
+ *  - the .data image fits the address space.
+ *
+ * Returns std::nullopt when valid. tryLoadImage runs this on every
+ * loaded image; callers constructing images in memory (or mutating
+ * them) can invoke it directly.
+ */
+std::optional<LoadError>
+validateImage(const compress::CompressedImage &image);
 
 } // namespace codecomp
 

@@ -53,7 +53,9 @@ CompressedCpu::step()
         return false;
 
     uint32_t base = compress::CompressedImage::nibbleBase;
-    CC_ASSERT(pc_ >= base, "compressed PC below text base");
+    if (pc_ < base)
+        throw MachineCheckError(MachineFault::FetchOutOfText, pc_,
+                                "compressed PC below text base");
     const DecodedItem &item = engine_.itemAt(pc_ - base);
     if (fetch_hook_) {
         uint32_t first_byte = pc_ / 2;
@@ -78,8 +80,13 @@ CompressedCpu::step()
             isa::Inst inst = isa::decode(entry[slot]);
             ++inst_count_;
             ++stats_.expandedInsts;
-            CC_ASSERT(!inst.isRelativeBranch(),
-                      "relative branch inside a dictionary entry");
+            // The loader's validator rejects such dictionaries on disk;
+            // in-memory corruption still must trap, not misexecute.
+            if (inst.isRelativeBranch())
+                throw MachineCheckError(
+                    MachineFault::IllegalInstruction, self_pc,
+                    "relative branch inside dictionary entry rank " +
+                        std::to_string(item.rank));
             if (inst.isBranch()) {
                 execBranch(inst, next_pc, self_pc);
                 if (retire_hook_)

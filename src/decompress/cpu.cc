@@ -1,5 +1,6 @@
 #include "decompress/cpu.hh"
 
+#include "decompress/fault.hh"
 #include "support/logging.hh"
 
 namespace codecomp {
@@ -50,7 +51,16 @@ Cpu::step()
     if (machine_.halted())
         return false;
 
-    uint32_t index = program_.indexOfAddr(pc_);
+    // Fetch-stage machine checks: a corrupt code pointer (jump table,
+    // LR, CTR) must trap precisely, never index .text out of bounds.
+    uint32_t text_end = Program::textBase + program_.textBytes();
+    if (pc_ < Program::textBase || pc_ >= text_end)
+        throw MachineCheckError(MachineFault::FetchOutOfText, pc_,
+                                "PC outside .text");
+    if (pc_ % isa::instBytes != 0)
+        throw MachineCheckError(MachineFault::MisalignedPc, pc_,
+                                "PC not instruction aligned");
+    uint32_t index = (pc_ - Program::textBase) / isa::instBytes;
     if (fetch_hook_)
         fetch_hook_(pc_, isa::instBytes);
     isa::Inst inst = isa::decode(program_.text[index]);
@@ -81,19 +91,21 @@ Cpu::step()
       // are legitimately odd), so masking here would hide on the native
       // side exactly the corrupt-LR/CTR bugs a lockstep comparison
       // exists to catch. The invariant is that code pointers entering
-      // LR/CTR are always 4-byte aligned in the native space; assert it
-      // instead of silently repairing a violation.
+      // LR/CTR are always 4-byte aligned in the native space; raise a
+      // machine check instead of silently repairing a violation.
       case isa::Op::Bclr:
         taken = machine_.evalCond(inst.bo, inst.bi);
         target = machine_.lr();
-        CC_ASSERT((target & 3u) == 0,
-                  "misaligned LR as branch target: ", target);
+        if ((target & 3u) != 0)
+            throw MachineCheckError(MachineFault::MisalignedPc, target,
+                                    "misaligned LR as branch target");
         break;
       case isa::Op::Bcctr:
         taken = machine_.evalCond(inst.bo, inst.bi);
         target = machine_.ctr();
-        CC_ASSERT((target & 3u) == 0,
-                  "misaligned CTR as branch target: ", target);
+        if ((target & 3u) != 0)
+            throw MachineCheckError(MachineFault::MisalignedPc, target,
+                                    "misaligned CTR as branch target");
         break;
       default:
         CC_PANIC("unexpected branch op");

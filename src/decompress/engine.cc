@@ -11,12 +11,23 @@ DecompressionEngine::DecompressionEngine(
     while (!reader.atEnd()) {
         DecodedItem item;
         item.nibbleAddr = static_cast<uint32_t>(reader.pos());
+        // Classify the item length before decoding: a truncated stream
+        // must surface as a machine check, not a read past the end.
+        if (!compress::peekItemNibbles(reader, image.scheme))
+            throw MachineCheckError(MachineFault::BadCodeword,
+                                    item.nibbleAddr,
+                                    "compressed stream ends mid-item");
         auto rank = compress::decodeCodeword(reader, image.scheme);
         if (rank) {
             item.isCodeword = true;
             item.rank = *rank;
-            CC_ASSERT(item.rank < image.entriesByRank.size(),
-                      "codeword rank beyond dictionary: ", item.rank);
+            if (item.rank >= image.entriesByRank.size())
+                throw MachineCheckError(
+                    MachineFault::DictIndexOutOfRange, item.nibbleAddr,
+                    "codeword rank " + std::to_string(item.rank) +
+                        " beyond dictionary of " +
+                        std::to_string(image.entriesByRank.size()) +
+                        " entries");
         } else {
             item.isCodeword = false;
             item.word = reader.getWord();

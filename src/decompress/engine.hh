@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "compress/image.hh"
+#include "decompress/fault.hh"
 #include "support/logging.hh"
 
 namespace codecomp {
@@ -38,8 +39,9 @@ class DecompressionEngine
     explicit DecompressionEngine(const compress::CompressedImage &image);
 
     /** Item starting at compressed-text nibble offset @p nibble_addr;
-     *  panics if the address is not an item boundary (a real processor
-     *  would fetch garbage -- our programs never do this). */
+     *  raises a machine check if the address is not an item boundary (a
+     *  real processor would fetch garbage -- only corrupt code pointers
+     *  get here). */
     const DecodedItem &
     itemAt(uint32_t nibble_addr) const
     {
@@ -49,17 +51,22 @@ class DecompressionEngine
     /**
      * Index into items() of the item starting at @p nibble_addr. This is
      * the fetch-stage hot path: a dense per-nibble table makes it a
-     * single indexed load, with no hashing on the hottest loop.
+     * single indexed load, with no hashing on the hottest loop. Throws
+     * MachineCheckError (FetchOutOfText / MisalignedPc) on addresses no
+     * item starts at.
      */
     uint32_t
     itemIndexAt(uint32_t nibble_addr) const
     {
-        CC_ASSERT(nibble_addr < indexByAddr_.size(),
-                  "fetch beyond compressed text: nibble ", nibble_addr);
+        if (nibble_addr >= indexByAddr_.size())
+            throw MachineCheckError(MachineFault::FetchOutOfText,
+                                    nibble_addr,
+                                    "fetch beyond compressed text");
         uint32_t index = indexByAddr_[nibble_addr];
-        CC_ASSERT(index != noItem,
-                  "fetch from mid-item compressed address: nibble ",
-                  nibble_addr);
+        if (index == noItem)
+            throw MachineCheckError(MachineFault::MisalignedPc, nibble_addr,
+                                    "fetch from mid-item compressed "
+                                    "address");
         return index;
     }
 

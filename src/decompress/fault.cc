@@ -1,0 +1,58 @@
+#include "decompress/fault.hh"
+
+#include <cstdio>
+
+namespace codecomp {
+
+const char *
+machineFaultName(MachineFault fault)
+{
+    switch (fault) {
+      case MachineFault::BadCodeword:
+        return "bad-codeword";
+      case MachineFault::DictIndexOutOfRange:
+        return "dict-index-out-of-range";
+      case MachineFault::MisalignedPc:
+        return "misaligned-pc";
+      case MachineFault::FetchOutOfText:
+        return "fetch-out-of-text";
+      case MachineFault::IllegalInstruction:
+        return "illegal-instruction";
+      case MachineFault::MemoryOutOfRange:
+        return "memory-out-of-range";
+      case MachineFault::BadSyscall:
+        return "bad-syscall";
+      case MachineFault::BadSpr:
+        return "bad-spr";
+      case MachineFault::BadCondition:
+        return "bad-condition";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string
+formatMachineCheck(MachineFault fault, uint32_t addr,
+                   const std::string &detail)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " at 0x%08x", addr);
+    std::string text = "machine check [";
+    text += machineFaultName(fault);
+    text += "]";
+    text += buf;
+    if (!detail.empty())
+        text += ": " + detail;
+    return text;
+}
+
+} // namespace
+
+MachineCheckError::MachineCheckError(MachineFault fault, uint32_t addr,
+                                     const std::string &detail)
+    : std::runtime_error(formatMachineCheck(fault, addr, detail)),
+      fault_(fault), addr_(addr)
+{}
+
+} // namespace codecomp

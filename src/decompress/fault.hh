@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Machine-check fault model: the deterministic, catchable trap an
+ * executing processor raises when residual corruption slips past the
+ * image loader (or when a program computes a wild code/data pointer).
+ *
+ * A real decompression core sits in the fetch path and must surface a
+ * bad codeword or an out-of-range dictionary index as a precise machine
+ * check, not undefined behaviour. Here that is an exception deriving
+ * std::runtime_error: tools report it and exit with the corruption
+ * status; the verifier records it as a divergence; tests assert on the
+ * fault kind. The faults replace what used to be CC_PANIC aborts on the
+ * execution paths -- CC_PANIC remains for genuine library bugs only.
+ */
+
+#ifndef CODECOMP_DECOMPRESS_FAULT_HH
+#define CODECOMP_DECOMPRESS_FAULT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace codecomp {
+
+/** Precise cause of a machine check. */
+enum class MachineFault : uint8_t {
+    BadCodeword,         //!< stream ends mid-item / undecodable slot
+    DictIndexOutOfRange, //!< codeword rank beyond the dictionary
+    MisalignedPc,        //!< fetch from mid-item / non-instruction PC
+    FetchOutOfText,      //!< PC outside the text image
+    IllegalInstruction,  //!< fetched word does not decode
+    MemoryOutOfRange,    //!< data access outside the address space
+    BadSyscall,          //!< unknown syscall number reached sc
+    BadSpr,              //!< mtspr/mfspr names an unknown register
+    BadCondition,        //!< unsupported BO field reached a branch
+};
+
+const char *machineFaultName(MachineFault fault);
+
+/** Catchable, deterministic machine check: fault kind + faulting
+ *  address (PC, nibble offset, or effective address as appropriate). */
+class MachineCheckError : public std::runtime_error
+{
+  public:
+    MachineCheckError(MachineFault fault, uint32_t addr,
+                      const std::string &detail);
+
+    MachineFault fault() const { return fault_; }
+    uint32_t addr() const { return addr_; }
+
+  private:
+    MachineFault fault_;
+    uint32_t addr_;
+};
+
+} // namespace codecomp
+
+#endif // CODECOMP_DECOMPRESS_FAULT_HH

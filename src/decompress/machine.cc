@@ -1,5 +1,6 @@
 #include "decompress/machine.hh"
 
+#include "decompress/fault.hh"
 #include "support/logging.hh"
 
 namespace codecomp {
@@ -14,7 +15,9 @@ Machine::loadWord(uint32_t addr) const
 {
     // Compare without addr + 4, which wraps for addresses near 2^32 and
     // would let a wild access through the check.
-    CC_ASSERT(addr <= memBytes - 4, "load word out of range: ", addr);
+    if (addr > memBytes - 4)
+        throw MachineCheckError(MachineFault::MemoryOutOfRange, addr,
+                                "load word outside the address space");
     return (static_cast<uint32_t>(mem_[addr]) << 24) |
            (static_cast<uint32_t>(mem_[addr + 1]) << 16) |
            (static_cast<uint32_t>(mem_[addr + 2]) << 8) |
@@ -24,21 +27,27 @@ Machine::loadWord(uint32_t addr) const
 uint16_t
 Machine::loadHalf(uint32_t addr) const
 {
-    CC_ASSERT(addr <= memBytes - 2, "load half out of range: ", addr);
+    if (addr > memBytes - 2)
+        throw MachineCheckError(MachineFault::MemoryOutOfRange, addr,
+                                "load half outside the address space");
     return static_cast<uint16_t>((mem_[addr] << 8) | mem_[addr + 1]);
 }
 
 uint8_t
 Machine::loadByte(uint32_t addr) const
 {
-    CC_ASSERT(addr < memBytes, "load byte out of range: ", addr);
+    if (addr >= memBytes)
+        throw MachineCheckError(MachineFault::MemoryOutOfRange, addr,
+                                "load byte outside the address space");
     return mem_[addr];
 }
 
 void
 Machine::storeWord(uint32_t addr, uint32_t value)
 {
-    CC_ASSERT(addr <= memBytes - 4, "store word out of range: ", addr);
+    if (addr > memBytes - 4)
+        throw MachineCheckError(MachineFault::MemoryOutOfRange, addr,
+                                "store word outside the address space");
     mem_[addr] = static_cast<uint8_t>(value >> 24);
     mem_[addr + 1] = static_cast<uint8_t>(value >> 16);
     mem_[addr + 2] = static_cast<uint8_t>(value >> 8);
@@ -50,7 +59,9 @@ Machine::storeWord(uint32_t addr, uint32_t value)
 void
 Machine::storeHalf(uint32_t addr, uint16_t value)
 {
-    CC_ASSERT(addr <= memBytes - 2, "store half out of range: ", addr);
+    if (addr > memBytes - 2)
+        throw MachineCheckError(MachineFault::MemoryOutOfRange, addr,
+                                "store half outside the address space");
     mem_[addr] = static_cast<uint8_t>(value >> 8);
     mem_[addr + 1] = static_cast<uint8_t>(value);
     if (store_hook_)
@@ -60,7 +71,9 @@ Machine::storeHalf(uint32_t addr, uint16_t value)
 void
 Machine::storeByte(uint32_t addr, uint8_t value)
 {
-    CC_ASSERT(addr < memBytes, "store byte out of range: ", addr);
+    if (addr >= memBytes)
+        throw MachineCheckError(MachineFault::MemoryOutOfRange, addr,
+                                "store byte outside the address space");
     mem_[addr] = value;
     if (store_hook_)
         store_hook_(addr, 1, value);
@@ -69,7 +82,11 @@ Machine::storeByte(uint32_t addr, uint8_t value)
 void
 Machine::loadImage(uint32_t base, const std::vector<uint8_t> &bytes)
 {
-    CC_ASSERT(base + bytes.size() <= memBytes, "image out of range");
+    if (static_cast<uint64_t>(base) + bytes.size() > memBytes)
+        throw MachineCheckError(MachineFault::MemoryOutOfRange, base,
+                                "image of " +
+                                    std::to_string(bytes.size()) +
+                                    " bytes does not fit memory");
     std::copy(bytes.begin(), bytes.end(), mem_.begin() + base);
 }
 
@@ -95,7 +112,9 @@ Machine::evalCond(uint8_t bo, uint8_t bi)
         --ctr_;
         return ctr_ != 0;
     }
-    CC_PANIC("unsupported BO value ", int(bo));
+    throw MachineCheckError(MachineFault::BadCondition, bo,
+                            "unsupported BO value " +
+                                std::to_string(int(bo)));
 }
 
 void
@@ -114,7 +133,9 @@ Machine::doSyscall()
         output_.push_back('\n');
         return;
     }
-    CC_PANIC("unknown syscall ", gpr_[0]);
+    throw MachineCheckError(MachineFault::BadSyscall, gpr_[0],
+                            "unknown syscall " +
+                                std::to_string(gpr_[0]));
 }
 
 namespace {
@@ -287,7 +308,9 @@ Machine::execute(const isa::Inst &inst)
         else if (inst.spr == static_cast<uint16_t>(isa::Spr::CTR))
             ctr_ = gpr_[inst.rt];
         else
-            CC_PANIC("mtspr to unknown spr ", inst.spr);
+            throw MachineCheckError(MachineFault::BadSpr, inst.spr,
+                                    "mtspr to unknown spr " +
+                                        std::to_string(inst.spr));
         return;
       case Op::Mfspr:
         if (inst.spr == static_cast<uint16_t>(isa::Spr::LR))
@@ -295,13 +318,17 @@ Machine::execute(const isa::Inst &inst)
         else if (inst.spr == static_cast<uint16_t>(isa::Spr::CTR))
             gpr_[inst.rt] = ctr_;
         else
-            CC_PANIC("mfspr from unknown spr ", inst.spr);
+            throw MachineCheckError(MachineFault::BadSpr, inst.spr,
+                                    "mfspr from unknown spr " +
+                                        std::to_string(inst.spr));
         return;
       case Op::Sc:
         doSyscall();
         return;
       default:
-        CC_PANIC("cannot execute op");
+        throw MachineCheckError(MachineFault::IllegalInstruction, 0,
+                                "instruction word does not decode to an "
+                                "executable op");
     }
 }
 

@@ -36,7 +36,7 @@ class Machine
 {
   public:
     /** Flat memory size; covers .text/.data images and the stack. */
-    static constexpr uint32_t memBytes = 8u << 20;
+    static constexpr uint32_t memBytes = isa::addressSpaceBytes;
 
     /** Initial stack pointer (r1), growing downward. */
     static constexpr uint32_t stackTop = memBytes - 64;

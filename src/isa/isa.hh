@@ -30,6 +30,14 @@ constexpr unsigned numGprs = 32;
 /** Number of 4-bit condition-register fields. */
 constexpr unsigned numCrFields = 8;
 
+/**
+ * Size of the implemented flat address space (text + data + stack).
+ * Defined at the ISA layer so that loaders below the simulator can
+ * validate that an untrusted image fits before anything is mapped;
+ * Machine::memBytes aliases this value.
+ */
+constexpr uint32_t addressSpaceBytes = 8u << 20;
+
 /** Primary (6-bit) opcode values; numbering follows PowerPC. */
 enum class PrimOp : uint8_t {
     Mulli = 7,

@@ -42,36 +42,82 @@ void
 Program::finalize()
 {
     computeDataBase();
+    if (std::optional<LoadError> error = validate())
+        CC_PANIC("invalid program: ", error->message());
+}
 
-    CC_ASSERT(entryIndex < text.size(), "entry point out of range");
+std::optional<LoadError>
+Program::validate() const
+{
+    auto invalid = [](std::string detail) {
+        return LoadError{LoadStatus::BadValue, 0, "program",
+                         std::move(detail)};
+    };
+
+    // All size arithmetic in 64 bits: untrusted 32-bit counts must not
+    // be allowed to wrap any of these comparisons.
+    uint64_t text_count = text.size();
+    uint64_t text_end = textBase + text_count * isa::instBytes;
+    if (text_end > isa::addressSpaceBytes)
+        return invalid(".text of " + std::to_string(text_count) +
+                       " instructions does not fit the address space");
+    uint64_t data_end = (text_end + dataAlign - 1) / dataAlign *
+                            dataAlign +
+                        data.size();
+    if (data_end > isa::addressSpaceBytes)
+        return invalid(".data of " + std::to_string(data.size()) +
+                       " bytes does not fit the address space");
+
+    if (entryIndex >= text_count)
+        return invalid("entry point index " + std::to_string(entryIndex) +
+                       " out of range");
 
     for (uint32_t i = 0; i < text.size(); ++i) {
         isa::Inst inst = isa::decode(text[i]);
-        CC_ASSERT(inst.op != isa::Op::Illegal,
-                  "illegal instruction in .text at index ", i);
-        if (inst.isRelativeBranch())
-            branchTargetIndex(i); // asserts validity
+        if (inst.op == isa::Op::Illegal)
+            return invalid("illegal instruction in .text at index " +
+                           std::to_string(i));
+        if (!inst.isRelativeBranch())
+            continue;
+        int64_t target;
+        if (inst.aa) {
+            target = (static_cast<int64_t>(inst.disp) * 4 - textBase) /
+                     isa::instBytes;
+        } else {
+            target = static_cast<int64_t>(i) + inst.disp;
+        }
+        if (target < 0 || target >= static_cast<int64_t>(text_count))
+            return invalid("branch target out of range at index " +
+                           std::to_string(i));
     }
 
     for (const CodeReloc &reloc : codeRelocs) {
-        CC_ASSERT(reloc.dataOffset + 4 <= data.size(),
-                  "code reloc outside .data");
-        CC_ASSERT(reloc.targetIndex < text.size(),
-                  "code reloc target outside .text");
+        if (reloc.dataOffset > data.size() ||
+            data.size() - reloc.dataOffset < 4)
+            return invalid("code reloc outside .data at offset " +
+                           std::to_string(reloc.dataOffset));
+        if (reloc.targetIndex >= text_count)
+            return invalid("code reloc target outside .text: index " +
+                           std::to_string(reloc.targetIndex));
     }
 
     for (const FunctionSymbol &fn : functions) {
-        CC_ASSERT(fn.body.first + fn.body.count <= text.size(),
-                  "function ", fn.name, " outside .text");
+        if (static_cast<uint64_t>(fn.body.first) + fn.body.count >
+            text_count)
+            return invalid("function " + fn.name + " outside .text");
         auto inside = [&fn](const InstRange &r) {
             return r.first >= fn.body.first &&
-                   r.first + r.count <= fn.body.first + fn.body.count;
+                   static_cast<uint64_t>(r.first) + r.count <=
+                       static_cast<uint64_t>(fn.body.first) +
+                           fn.body.count;
         };
-        CC_ASSERT(fn.prologue.count == 0 || inside(fn.prologue),
-                  "prologue outside function ", fn.name);
+        if (fn.prologue.count != 0 && !inside(fn.prologue))
+            return invalid("prologue outside function " + fn.name);
         for (const InstRange &ep : fn.epilogues)
-            CC_ASSERT(inside(ep), "epilogue outside function ", fn.name);
+            if (!inside(ep))
+                return invalid("epilogue outside function " + fn.name);
     }
+    return std::nullopt;
 }
 
 } // namespace codecomp

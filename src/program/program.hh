@@ -14,11 +14,13 @@
 #define CODECOMP_PROGRAM_PROGRAM_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "isa/inst.hh"
+#include "support/serialize.hh"
 
 namespace codecomp {
 
@@ -85,8 +87,19 @@ struct Program
 
     /** Compute dataBase from the text size and run sanity checks:
      *  every relative branch lands on a valid instruction, every code
-     *  relocation points into .text, symbol ranges nest properly. */
+     *  relocation points into .text, symbol ranges nest properly.
+     *  Panics on violations -- for internally generated programs only;
+     *  untrusted input goes through validate(). */
     void finalize();
+
+    /**
+     * Structural validation of untrusted program content: the same
+     * invariants finalize() enforces, plus an address-space fit check,
+     * reported as a typed LoadError instead of a panic. Returns
+     * std::nullopt when the program is well formed. Does not require
+     * (or set) dataBase.
+     */
+    std::optional<LoadError> validate() const;
 
     /** Target instruction index of the relative branch at @p index. */
     uint32_t branchTargetIndex(uint32_t index) const;

@@ -1,39 +1,127 @@
 #include "support/serialize.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 namespace codecomp {
 
-std::vector<uint8_t>
-readFile(const std::string &path)
+const char *
+loadStatusName(LoadStatus status)
+{
+    switch (status) {
+      case LoadStatus::Ok:
+        return "ok";
+      case LoadStatus::IoError:
+        return "io-error";
+      case LoadStatus::Truncated:
+        return "truncated";
+      case LoadStatus::BadMagic:
+        return "bad-magic";
+      case LoadStatus::BadVersion:
+        return "bad-version";
+      case LoadStatus::BadChecksum:
+        return "bad-checksum";
+      case LoadStatus::BadValue:
+        return "bad-value";
+      case LoadStatus::TrailingBytes:
+        return "trailing-bytes";
+    }
+    return "unknown";
+}
+
+std::string
+LoadError::message() const
+{
+    std::string text = loadStatusName(status);
+    if (!context.empty())
+        text += " in " + context;
+    if (status != LoadStatus::IoError)
+        text += " at byte " + std::to_string(offset);
+    if (!detail.empty())
+        text += ": " + detail;
+    return text;
+}
+
+uint64_t
+fnv1a64(const uint8_t *data, size_t size)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < size; ++i)
+        h = (h ^ data[i]) * 0x100000001b3ull;
+    return h;
+}
+
+namespace {
+
+LoadError
+ioError(const std::string &path, const char *what)
+{
+    return LoadError{LoadStatus::IoError, 0, "'" + path + "'",
+                     std::string(what) + ": " + std::strerror(errno)};
+}
+
+} // namespace
+
+Result<std::vector<uint8_t>>
+tryReadFile(const std::string &path)
 {
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
-        CC_FATAL("cannot open '", path, "' for reading");
-    std::fseek(file, 0, SEEK_END);
-    long size = std::ftell(file);
-    std::fseek(file, 0, SEEK_SET);
+        return ioError(path, "cannot open for reading");
+    long size = -1;
+    if (std::fseek(file, 0, SEEK_END) == 0)
+        size = std::ftell(file);
+    if (size < 0 || std::fseek(file, 0, SEEK_SET) != 0) {
+        LoadError error = ioError(path, "cannot determine file size");
+        std::fclose(file);
+        return error;
+    }
     std::vector<uint8_t> bytes(static_cast<size_t>(size));
     size_t read = bytes.empty()
                       ? 0
                       : std::fread(bytes.data(), 1, bytes.size(), file);
     std::fclose(file);
     if (read != bytes.size())
-        CC_FATAL("short read from '", path, "'");
+        return LoadError{LoadStatus::IoError, read, "'" + path + "'",
+                         "short read: got " + std::to_string(read) +
+                             " of " + std::to_string(bytes.size()) +
+                             " bytes"};
     return bytes;
+}
+
+std::optional<LoadError>
+tryWriteFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return ioError(path, "cannot open for writing");
+    size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+    if (std::fclose(file) != 0)
+        return ioError(path, "cannot close after writing");
+    if (written != bytes.size())
+        return LoadError{LoadStatus::IoError, written, "'" + path + "'",
+                         "short write: wrote " + std::to_string(written) +
+                             " of " + std::to_string(bytes.size()) +
+                             " bytes"};
+    return std::nullopt;
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    Result<std::vector<uint8_t>> result = tryReadFile(path);
+    if (!result.ok())
+        throw LoadFailure(result.error());
+    return result.take();
 }
 
 void
 writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
 {
-    std::FILE *file = std::fopen(path.c_str(), "wb");
-    if (!file)
-        CC_FATAL("cannot open '", path, "' for writing");
-    size_t written =
-        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
-    std::fclose(file);
-    if (written != bytes.size())
-        CC_FATAL("short write to '", path, "'");
+    if (std::optional<LoadError> error = tryWriteFile(path, bytes))
+        throw LoadFailure(*error);
 }
 
 } // namespace codecomp

@@ -3,18 +3,123 @@
  * Minimal big-endian binary serialization helpers used by the Program
  * and CompressedImage file formats (the on-disk interchange of the
  * minicc / ccompress / ccrun command-line tools).
+ *
+ * Deserialization treats its input as untrusted: every structural
+ * problem surfaces as a typed LoadError (status code, byte offset,
+ * context) rather than a process abort. ByteSource throws LoadFailure
+ * (a std::runtime_error carrying the LoadError) on truncation, so
+ * legacy callers that catch std::runtime_error keep working, while
+ * hardened callers use the Result-returning entry points.
  */
 
 #ifndef CODECOMP_SUPPORT_SERIALIZE_HH
 #define CODECOMP_SUPPORT_SERIALIZE_HH
 
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/logging.hh"
 
 namespace codecomp {
+
+/** What went wrong while loading untrusted bytes. */
+enum class LoadStatus : uint8_t {
+    Ok,
+    IoError,       //!< the file could not be read or written
+    Truncated,     //!< input ended before a declared field
+    BadMagic,      //!< not the expected file type
+    BadVersion,    //!< unsupported format version
+    BadChecksum,   //!< payload checksum mismatch (bytes corrupted)
+    BadValue,      //!< a field value violates a structural invariant
+    TrailingBytes, //!< well-formed payload followed by extra bytes
+};
+
+const char *loadStatusName(LoadStatus status);
+
+/** One typed deserialization/validation failure. */
+struct LoadError
+{
+    LoadStatus status = LoadStatus::Ok;
+    size_t offset = 0;   //!< byte offset in the input where it surfaced
+    std::string context; //!< what was being parsed (field or phase)
+    std::string detail;  //!< specifics: values, limits, paths
+
+    /** One-line human-readable rendering. */
+    std::string message() const;
+};
+
+/** LoadError as a throwable; derives std::runtime_error so existing
+ *  catch sites (tools, tests) see it without modification. */
+class LoadFailure : public std::runtime_error
+{
+  public:
+    explicit LoadFailure(LoadError error)
+        : std::runtime_error(error.message()), error_(std::move(error))
+    {}
+
+    const LoadError &error() const { return error_; }
+
+  private:
+    LoadError error_;
+};
+
+/**
+ * Value-or-LoadError result of a hardened loader. Deliberately tiny:
+ * implicit construction from either side, and value() panics when
+ * consulted on an error (callers must check ok() first).
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(LoadError error) : error_(std::move(error))
+    {
+        CC_ASSERT(error_.status != LoadStatus::Ok,
+                  "Result error must carry a failure status");
+    }
+
+    bool ok() const { return value_.has_value(); }
+
+    const T &
+    value() const
+    {
+        CC_ASSERT(ok(), "Result::value() on error: ", error_.message());
+        return *value_;
+    }
+
+    T
+    take()
+    {
+        CC_ASSERT(ok(), "Result::take() on error: ", error_.message());
+        return std::move(*value_);
+    }
+
+    const LoadError &
+    error() const
+    {
+        CC_ASSERT(!ok(), "Result::error() on success");
+        return error_;
+    }
+
+  private:
+    std::optional<T> value_;
+    LoadError error_;
+};
+
+/** FNV-1a over @p size bytes; the whole-payload checksum of the v2
+ *  file formats (and the hash family Machine::stateHash uses). */
+uint64_t fnv1a64(const uint8_t *data, size_t size);
+
+inline uint64_t
+fnv1a64(const std::vector<uint8_t> &bytes)
+{
+    return fnv1a64(bytes.data(), bytes.size());
+}
 
 /** Append-only big-endian byte sink. */
 class ByteSink
@@ -59,7 +164,12 @@ class ByteSink
     std::vector<uint8_t> bytes_;
 };
 
-/** Sequential big-endian byte source; fatal on malformed input. */
+/**
+ * Sequential big-endian byte source over untrusted input. Reading past
+ * the end throws LoadFailure{Truncated} carrying the byte offset and
+ * the current context string (set by the caller to name the field or
+ * section being parsed, so diagnostics say *what* was cut off).
+ */
 class ByteSource
 {
   public:
@@ -67,11 +177,15 @@ class ByteSource
         : bytes_(bytes)
     {}
 
+    /** Name the region being parsed; reported in truncation errors. */
+    void setContext(std::string context) { context_ = std::move(context); }
+    const std::string &context() const { return context_; }
+
     uint8_t
     get8()
     {
         if (pos_ >= bytes_.size())
-            CC_FATAL("truncated input file");
+            failTruncated("input ended inside a 1-byte field");
         return bytes_[pos_++];
     }
 
@@ -95,8 +209,10 @@ class ByteSource
     getString()
     {
         uint32_t size = get32();
-        if (pos_ + size > bytes_.size())
-            CC_FATAL("truncated string in input file");
+        if (size > bytes_.size() - pos_)
+            failTruncated("declared string length " +
+                          std::to_string(size) + " exceeds remaining " +
+                          std::to_string(bytes_.size() - pos_) + " bytes");
         std::string value(bytes_.begin() + static_cast<long>(pos_),
                           bytes_.begin() + static_cast<long>(pos_ + size));
         pos_ += size;
@@ -107,8 +223,10 @@ class ByteSource
     getBlob()
     {
         uint32_t size = get32();
-        if (pos_ + size > bytes_.size())
-            CC_FATAL("truncated blob in input file");
+        if (size > bytes_.size() - pos_)
+            failTruncated("declared blob length " + std::to_string(size) +
+                          " exceeds remaining " +
+                          std::to_string(bytes_.size() - pos_) + " bytes");
         std::vector<uint8_t> value(
             bytes_.begin() + static_cast<long>(pos_),
             bytes_.begin() + static_cast<long>(pos_ + size));
@@ -118,16 +236,32 @@ class ByteSource
 
     bool atEnd() const { return pos_ == bytes_.size(); }
     size_t pos() const { return pos_; }
+    size_t remaining() const { return bytes_.size() - pos_; }
 
   private:
+    [[noreturn]] void
+    failTruncated(std::string detail) const
+    {
+        throw LoadFailure(LoadError{LoadStatus::Truncated, pos_, context_,
+                                    std::move(detail)});
+    }
+
     const std::vector<uint8_t> &bytes_;
     size_t pos_ = 0;
+    std::string context_;
 };
 
-/** Read a whole file (fatal on failure). */
+/** @{ Hardened whole-file I/O: LoadStatus::IoError results carry the
+ *  path and the strerror(errno) text, never abort. */
+Result<std::vector<uint8_t>> tryReadFile(const std::string &path);
+std::optional<LoadError> tryWriteFile(const std::string &path,
+                                      const std::vector<uint8_t> &bytes);
+/** @} */
+
+/** Read a whole file; throws LoadFailure on I/O errors. */
 std::vector<uint8_t> readFile(const std::string &path);
 
-/** Write a whole file (fatal on failure). */
+/** Write a whole file; throws LoadFailure on I/O errors. */
 void writeFile(const std::string &path, const std::vector<uint8_t> &bytes);
 
 } // namespace codecomp

@@ -4,8 +4,10 @@
 #include <set>
 #include <vector>
 
+#include "compress/objfile.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/engine.hh"
+#include "decompress/fault.hh"
 #include "isa/disasm.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -337,6 +339,265 @@ injectFault(const Program &program, const compress::CompressedImage &image,
         return injectBranchDisp(image, engine, profile, rng);
     }
     CC_PANIC("unknown fault kind");
+}
+
+// ------------------------- corruption campaign -----------------------
+
+const char *
+corruptionKindName(CorruptionKind kind)
+{
+    switch (kind) {
+      case CorruptionKind::BitFlip:
+        return "bit-flip";
+      case CorruptionKind::Truncate:
+        return "truncate";
+      case CorruptionKind::Splice:
+        return "splice";
+      case CorruptionKind::LengthLie:
+        return "length-lie";
+    }
+    return "unknown";
+}
+
+const char *
+mutantOutcomeName(MutantOutcome outcome)
+{
+    switch (outcome) {
+      case MutantOutcome::LoadRejected:
+        return "load-rejected";
+      case MutantOutcome::Trapped:
+        return "trapped";
+      case MutantOutcome::RanIdentical:
+        return "ran-identical";
+      case MutantOutcome::SilentDivergence:
+        return "silent-divergence";
+      case MutantOutcome::Panicked:
+        return "panicked";
+    }
+    return "unknown";
+}
+
+std::vector<uint8_t>
+corruptBytes(const std::vector<uint8_t> &bytes, CorruptionKind kind,
+             Rng &rng, std::string &description)
+{
+    CC_ASSERT(bytes.size() >= 16, "serialized image implausibly small");
+    std::vector<uint8_t> out = bytes;
+    switch (kind) {
+      case CorruptionKind::BitFlip: {
+        size_t pos = rng.below(out.size());
+        unsigned bit = static_cast<unsigned>(rng.below(8));
+        out[pos] ^= static_cast<uint8_t>(1u << bit);
+        description = "flip bit " + std::to_string(bit) + " of byte " +
+                      std::to_string(pos);
+        break;
+      }
+      case CorruptionKind::Truncate: {
+        size_t size = rng.below(out.size());
+        out.resize(size);
+        description = "truncate to " + std::to_string(size) + " of " +
+                      std::to_string(bytes.size()) + " bytes";
+        break;
+      }
+      case CorruptionKind::Splice: {
+        size_t len = 1 + rng.below(std::min<size_t>(16, out.size()));
+        size_t src = rng.below(out.size() - len + 1);
+        size_t dst = rng.below(out.size() - len + 1);
+        std::vector<uint8_t> span(out.begin() + static_cast<long>(src),
+                                  out.begin() + static_cast<long>(src + len));
+        std::copy(span.begin(), span.end(),
+                  out.begin() + static_cast<long>(dst));
+        description = "splice " + std::to_string(len) + " bytes from " +
+                      std::to_string(src) + " over " + std::to_string(dst);
+        break;
+      }
+      case CorruptionKind::LengthLie: {
+        size_t pos = rng.below(out.size() - 3);
+        uint32_t value = static_cast<uint32_t>(rng.next());
+        for (unsigned i = 0; i < 4; ++i)
+            out[pos + i] = static_cast<uint8_t>(value >> (24 - 8 * i));
+        description = "overwrite 4 bytes at " + std::to_string(pos) +
+                      " with " + hex32(value);
+        break;
+      }
+    }
+    return out;
+}
+
+namespace {
+
+/** Execute an already-loaded mutant, with panics trapped, and compare
+ *  against the pristine run. */
+MutantReport
+runMutant(const compress::CompressedImage &image, const ExecResult &expected,
+          uint64_t max_steps, std::string description)
+{
+    MutantReport report{MutantOutcome::RanIdentical, std::move(description),
+                        {}};
+    try {
+        PanicTrap trap;
+        ExecResult result = runCompressed(image, max_steps);
+        if (result == expected) {
+            report.outcome = MutantOutcome::RanIdentical;
+        } else {
+            report.outcome = MutantOutcome::SilentDivergence;
+            report.detail =
+                "exit " + std::to_string(result.exitCode) + " vs " +
+                std::to_string(expected.exitCode) + ", " +
+                std::to_string(result.instCount) + " vs " +
+                std::to_string(expected.instCount) + " insts, output " +
+                (result.output == expected.output ? "equal" : "differs");
+        }
+    } catch (const MachineCheckError &error) {
+        report.outcome = MutantOutcome::Trapped;
+        report.detail = error.what();
+    } catch (const PanicError &error) {
+        report.outcome = MutantOutcome::Panicked;
+        report.detail = error.what();
+    } catch (const std::runtime_error &error) {
+        // CC_FATAL: the watchdog step budget; part of the fault model.
+        report.outcome = MutantOutcome::Trapped;
+        report.detail = error.what();
+    }
+    return report;
+}
+
+} // namespace
+
+MutantReport
+classifyMutantBytes(const std::vector<uint8_t> &mutant,
+                    const ExecResult &expected, uint64_t max_steps,
+                    std::string description)
+{
+    Result<compress::CompressedImage> loaded = tryLoadImage(mutant);
+    if (!loaded.ok())
+        return {MutantOutcome::LoadRejected, std::move(description),
+                loaded.error().message()};
+    return runMutant(loaded.value(), expected, max_steps,
+                     std::move(description));
+}
+
+MutantReport
+classifyMutantImage(const compress::CompressedImage &mutant,
+                    const ExecResult &expected, uint64_t max_steps,
+                    std::string description)
+{
+    if (std::optional<LoadError> error = validateImage(mutant))
+        return {MutantOutcome::LoadRejected, std::move(description),
+                error->message()};
+    return runMutant(mutant, expected, max_steps, std::move(description));
+}
+
+std::vector<StructuralMutant>
+structuralMutants(const Program &program,
+                  const compress::CompressedImage &image)
+{
+    std::vector<StructuralMutant> mutants;
+    auto add = [&mutants, &image](std::string description) ->
+        compress::CompressedImage & {
+        mutants.push_back({image, std::move(description)});
+        return mutants.back().image;
+    };
+
+    if (!image.entriesByRank.empty()) {
+        add("dictionary rank 0 slot 0 zeroed (illegal word)")
+            .entriesByRank[0][0] = 0;
+        // Dropping the last entry leaves any codeword of that rank
+        // dangling; the validator must notice before the engine would.
+        add("last dictionary entry removed").entriesByRank.pop_back();
+    }
+
+    add("entry point moved past the end of the stream").entryPointNibble =
+        static_cast<uint32_t>(image.textNibbles);
+
+    add("nibble count inflated past the byte stream").textNibbles += 2;
+
+    if (image.textNibbles >= 4) {
+        compress::CompressedImage &truncated =
+            add("stream truncated by one byte");
+        truncated.textNibbles -= 2;
+        truncated.text.resize((truncated.textNibbles + 1) / 2);
+    }
+
+    // Jump-table slots hold absolute nibble code pointers; the loader
+    // cannot know which .data words those are (relocations are not part
+    // of the image), so a corrupted pointer must surface as a machine
+    // check at the indirect branch that consumes it.
+    size_t reloc_count = std::min<size_t>(program.codeRelocs.size(), 4);
+    for (size_t i = 0; i < reloc_count; ++i) {
+        const CodeReloc &reloc = program.codeRelocs[i];
+        CC_ASSERT(static_cast<uint64_t>(reloc.dataOffset) + 4 <=
+                      image.data.size(),
+                  "reloc outside the image .data");
+        uint32_t bogus = compress::CompressedImage::nibbleBase +
+                         static_cast<uint32_t>(image.textNibbles) + 1 +
+                         static_cast<uint32_t>(i);
+        compress::CompressedImage &corrupted =
+            add("jump-table slot at .data+" +
+                std::to_string(reloc.dataOffset) +
+                " redirected past the compressed text");
+        for (unsigned b = 0; b < 4; ++b)
+            corrupted.data[reloc.dataOffset + b] =
+                static_cast<uint8_t>(bogus >> (24 - 8 * b));
+    }
+    if (reloc_count > 0) {
+        const CodeReloc &reloc = program.codeRelocs[0];
+        compress::CompressedImage &corrupted =
+            add("jump-table slot at .data+" +
+                std::to_string(reloc.dataOffset) +
+                " redirected below the text base");
+        uint32_t bogus = compress::CompressedImage::nibbleBase - 4;
+        for (unsigned b = 0; b < 4; ++b)
+            corrupted.data[reloc.dataOffset + b] =
+                static_cast<uint8_t>(bogus >> (24 - 8 * b));
+    }
+    return mutants;
+}
+
+CorruptionCampaign
+runCorruptionCampaign(const Program &program,
+                      const compress::CompressedImage &image,
+                      uint64_t count, uint64_t seed, uint64_t max_steps)
+{
+    CorruptionCampaign campaign;
+    auto tally = [&campaign](MutantReport report) {
+        ++campaign.total;
+        switch (report.outcome) {
+          case MutantOutcome::LoadRejected:
+            ++campaign.loadRejected;
+            break;
+          case MutantOutcome::Trapped:
+            ++campaign.trapped;
+            break;
+          case MutantOutcome::RanIdentical:
+            ++campaign.ranIdentical;
+            break;
+          case MutantOutcome::SilentDivergence:
+          case MutantOutcome::Panicked:
+            campaign.failures.push_back(std::move(report));
+            break;
+        }
+    };
+
+    ExecResult expected = runCompressed(image, max_steps);
+    std::vector<uint8_t> bytes = saveImage(image);
+    constexpr CorruptionKind kinds[] = {
+        CorruptionKind::BitFlip, CorruptionKind::Truncate,
+        CorruptionKind::Splice, CorruptionKind::LengthLie};
+    Rng rng(seed);
+    for (uint64_t i = 0; i < count; ++i) {
+        CorruptionKind kind = kinds[i % 4];
+        std::string description;
+        std::vector<uint8_t> mutant =
+            corruptBytes(bytes, kind, rng, description);
+        tally(classifyMutantBytes(
+            mutant, expected, max_steps,
+            std::string(corruptionKindName(kind)) + ": " + description));
+    }
+    for (StructuralMutant &mutant : structuralMutants(program, image))
+        tally(classifyMutantImage(mutant.image, expected, max_steps,
+                                  std::move(mutant.description)));
+    return campaign;
 }
 
 } // namespace codecomp::verify

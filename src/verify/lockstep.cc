@@ -320,6 +320,8 @@ Verifier::stepNative()
 
     try {
         native_.step();
+    } catch (const MachineCheckError &e) {
+        captureStop("native-fault", e.what());
     } catch (const PanicError &e) {
         captureStop("native-panic", e.what());
     }
@@ -482,6 +484,8 @@ Verifier::run()
             uint32_t item_index;
             try {
                 item_index = compressed_.engine().itemIndexAt(pc_nibble);
+            } catch (const MachineCheckError &e) {
+                captureStop("compressed-fault", e.what());
             } catch (const PanicError &e) {
                 captureStop("compressed-panic", e.what());
             }
@@ -523,6 +527,8 @@ Verifier::run()
 
             try {
                 compressed_.step();
+            } catch (const MachineCheckError &e) {
+                captureStop("compressed-fault", e.what());
             } catch (const PanicError &e) {
                 captureStop("compressed-panic", e.what());
             } catch (const std::runtime_error &e) {

@@ -11,6 +11,7 @@
 #include "compress/compressor.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
+#include "decompress/fault.hh"
 #include "workloads/generator.hh"
 #include "workloads/workloads.hh"
 
@@ -188,17 +189,23 @@ TEST(Engine, EntryPointMapsToFirstInstruction)
 }
 
 
-TEST(Engine, MidItemFetchPanics)
+TEST(Engine, MidItemFetchFaults)
 {
     Program p = workloads::buildBenchmark("compress");
     CompressorConfig config;
     CompressedImage image = compressProgram(p, config);
     DecompressionEngine engine(image);
     // Nibble offset 1 is inside the first item for every scheme here.
-    EXPECT_DEATH(engine.itemAt(1), "mid-item");
+    try {
+        engine.itemAt(1);
+        FAIL() << "mid-item fetch went unnoticed";
+    } catch (const MachineCheckError &error) {
+        EXPECT_EQ(error.fault(), MachineFault::MisalignedPc);
+        EXPECT_EQ(error.addr(), 1u);
+    }
 }
 
-TEST(Engine, FetchBeyondTextPanics)
+TEST(Engine, FetchBeyondTextFaults)
 {
     // The dense lookup table covers exactly textNibbles entries; a PC
     // one past the end of the stream must trap, not read out of bounds.
@@ -206,8 +213,12 @@ TEST(Engine, FetchBeyondTextPanics)
     CompressorConfig config;
     CompressedImage image = compressProgram(p, config);
     DecompressionEngine engine(image);
-    EXPECT_DEATH(engine.itemAt(image.textNibbles),
-                 "beyond compressed text");
+    try {
+        engine.itemAt(static_cast<uint32_t>(image.textNibbles));
+        FAIL() << "fetch beyond compressed text went unnoticed";
+    } catch (const MachineCheckError &error) {
+        EXPECT_EQ(error.fault(), MachineFault::FetchOutOfText);
+    }
 }
 
 TEST(Engine, DenseIndexAgreesWithStreamScan)

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "decompress/cpu.hh"
+#include "decompress/fault.hh"
 #include "decompress/machine.hh"
 #include "isa/builder.hh"
 
@@ -16,6 +19,19 @@ using namespace codecomp;
 namespace isa = codecomp::isa;
 
 namespace {
+
+/** Fault kind raised by @p fn, or nullopt if it completes. */
+template <typename Fn>
+std::optional<MachineFault>
+faultKind(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const MachineCheckError &error) {
+        return error.fault();
+    }
+    return std::nullopt;
+}
 
 /** Run instructions on a bare machine (no branches allowed). */
 Machine
@@ -274,9 +290,12 @@ TEST(MachineMemory, AccessNearAddressSpaceTopDoesNotWrapAround)
     // addr + 4 overflows uint32_t here; the bounds check must reject
     // the access rather than wrap to a small in-range address.
     Machine m;
-    EXPECT_DEATH(m.loadWord(0xfffffffe), "");
-    EXPECT_DEATH(m.storeWord(0xfffffffe, 1), "");
-    EXPECT_DEATH(m.loadHalf(0xffffffff), "");
+    EXPECT_EQ(faultKind([&] { m.loadWord(0xfffffffe); }),
+              MachineFault::MemoryOutOfRange);
+    EXPECT_EQ(faultKind([&] { m.storeWord(0xfffffffe, 1); }),
+              MachineFault::MemoryOutOfRange);
+    EXPECT_EQ(faultKind([&] { m.loadHalf(0xffffffff); }),
+              MachineFault::MemoryOutOfRange);
 }
 
 // ---------------- Cpu fetch loop ----------------
@@ -419,26 +438,30 @@ TEST(CpuFetch, ConditionalReturn)
 }
 
 
-TEST(MachineMemory, OutOfRangeAccessPanics)
+TEST(MachineMemory, OutOfRangeAccessFaults)
 {
     Machine m;
-    EXPECT_DEATH(m.loadWord(Machine::memBytes - 2), "out of range");
-    EXPECT_DEATH(m.storeWord(Machine::memBytes, 1), "out of range");
-    EXPECT_DEATH(m.loadByte(Machine::memBytes), "out of range");
+    EXPECT_EQ(faultKind([&] { m.loadWord(Machine::memBytes - 2); }),
+              MachineFault::MemoryOutOfRange);
+    EXPECT_EQ(faultKind([&] { m.storeWord(Machine::memBytes, 1); }),
+              MachineFault::MemoryOutOfRange);
+    EXPECT_EQ(faultKind([&] { m.loadByte(Machine::memBytes); }),
+              MachineFault::MemoryOutOfRange);
 }
 
-TEST(MachineCr, UnsupportedBoPanics)
+TEST(MachineCr, UnsupportedBoFaults)
 {
     Machine m;
-    EXPECT_DEATH(m.evalCond(31, 0), "BO");
+    EXPECT_EQ(faultKind([&] { m.evalCond(31, 0); }),
+              MachineFault::BadCondition);
 }
 
-TEST(MachineSpr, UnknownSprPanics)
+TEST(MachineSpr, UnknownSprFaults)
 {
     Machine m;
     isa::Inst bad = isa::mtspr(isa::Spr::LR, 3);
     bad.spr = 123;
-    EXPECT_DEATH(m.execute(bad), "spr");
+    EXPECT_EQ(faultKind([&] { m.execute(bad); }), MachineFault::BadSpr);
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include "compress/compressor.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
+#include "decompress/fault.hh"
 #include "isa/builder.hh"
 #include "verify/fault.hh"
 #include "verify/lockstep.hh"
@@ -173,9 +174,17 @@ rawProgram(const std::vector<isa::Inst> &insns)
 TEST(LockstepBadLr, NativeCpuRefusesMisalignedIndirectTarget)
 {
     // The native Cpu used to mask LR/CTR with ~3, silently repairing
-    // exactly the corruption a lockstep run exists to expose.
+    // exactly the corruption a lockstep run exists to expose. Under the
+    // machine-check model the bad pointer raises a catchable fault.
     Program p = rawProgram(badLrInsts());
-    EXPECT_DEATH(runProgram(p, 1 << 20), "misaligned");
+    try {
+        runProgram(p, 1 << 20);
+        FAIL() << "misaligned LR target went unnoticed";
+    } catch (const MachineCheckError &error) {
+        EXPECT_EQ(error.fault(), MachineFault::MisalignedPc);
+        EXPECT_NE(std::string(error.what()).find("misaligned"),
+                  std::string::npos);
+    }
 }
 
 TEST(LockstepBadLr, HarnessReportsCorruptedLrAsDivergence)
@@ -185,9 +194,9 @@ TEST(LockstepBadLr, HarnessReportsCorruptedLrAsDivergence)
 
     verify::LockstepResult result = verify::runLockstep(p, image);
     ASSERT_FALSE(result.ok());
-    // Both processors trip on the bad pointer; either side's panic must
-    // surface as a reported divergence, not a process abort.
-    EXPECT_NE(result.divergences[0].kind.find("panic"), std::string::npos)
+    // Both processors trip on the bad pointer; either side's machine
+    // check must surface as a reported divergence, not a process abort.
+    EXPECT_NE(result.divergences[0].kind.find("fault"), std::string::npos)
         << verify::formatReport(result);
     EXPECT_NE(result.divergences[0].detail.find("misaligned"),
               std::string::npos);

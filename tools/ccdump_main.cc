@@ -13,6 +13,7 @@
 #include "decompress/engine.hh"
 #include "isa/disasm.hh"
 #include "support/serialize.hh"
+#include "tool_common.hh"
 
 using namespace codecomp;
 
@@ -24,7 +25,7 @@ usage()
     std::fprintf(stderr,
                  "usage: ccdump <prog.ccp> [--disasm [function]]\n"
                  "       ccdump <prog.cci> [--dict] [--stream N]\n");
-    return 2;
+    return tools::exitUserError;
 }
 
 bool
@@ -108,10 +109,8 @@ dumpImage(const compress::CompressedImage &image, bool dict,
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string input;
     std::string function;
@@ -138,16 +137,19 @@ main(int argc, char **argv)
     if (input.empty())
         return usage();
 
-    try {
-        std::vector<uint8_t> bytes = readFile(input);
-        if (hasMagic(bytes, "CCPR"))
-            return dumpProgram(loadProgram(bytes), disasm, function);
-        if (hasMagic(bytes, "CCIM"))
-            return dumpImage(loadImage(bytes), dict, stream_items);
-        std::fprintf(stderr, "ccdump: unrecognized file format\n");
-        return 1;
-    } catch (const std::exception &error) {
-        std::fprintf(stderr, "ccdump: %s\n", error.what());
-        return 1;
-    }
+    std::vector<uint8_t> bytes = readFile(input);
+    if (hasMagic(bytes, "CCPR"))
+        return dumpProgram(loadProgram(bytes), disasm, function);
+    if (hasMagic(bytes, "CCIM"))
+        return dumpImage(loadImage(bytes), dict, stream_items);
+    std::fprintf(stderr, "ccdump: unrecognized file format\n");
+    return tools::exitUserError;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("ccdump", [&] { return run(argc, argv); });
 }

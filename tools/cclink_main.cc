@@ -15,6 +15,7 @@
 #include "compress/objfile.hh"
 #include "link/linker.hh"
 #include "support/serialize.hh"
+#include "tool_common.hh"
 
 using namespace codecomp;
 
@@ -26,13 +27,11 @@ usage()
     std::fprintf(stderr,
                  "usage: cclink <a.cco> [b.cco ...] -o <out.ccp> "
                  "[--no-runtime]\n");
-    return 2;
+    return tools::exitUserError;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::vector<std::string> inputs;
     std::string output;
@@ -53,23 +52,26 @@ main(int argc, char **argv)
     if (inputs.empty() || output.empty())
         return usage();
 
-    try {
-        std::vector<link::ObjectModule> modules;
-        for (const std::string &path : inputs)
-            modules.push_back(link::loadModule(readFile(path)));
-        if (with_runtime)
-            modules.push_back(codegen::runtimeModule());
+    std::vector<link::ObjectModule> modules;
+    for (const std::string &path : inputs)
+        modules.push_back(link::loadModule(readFile(path)));
+    if (with_runtime)
+        modules.push_back(codegen::runtimeModule());
 
-        Program program = link::linkModules(modules);
-        writeFile(output, saveProgram(program));
-        std::printf("linked %zu module(s): %zu instructions (%u bytes "
-                    ".text), %zu bytes .data, %zu functions -> %s\n",
-                    modules.size(), program.text.size(),
-                    program.textBytes(), program.data.size(),
-                    program.functions.size(), output.c_str());
-    } catch (const std::exception &error) {
-        std::fprintf(stderr, "cclink: %s\n", error.what());
-        return 1;
-    }
-    return 0;
+    Program program = link::linkModules(modules);
+    writeFile(output, saveProgram(program));
+    std::printf("linked %zu module(s): %zu instructions (%u bytes "
+                ".text), %zu bytes .data, %zu functions -> %s\n",
+                modules.size(), program.text.size(),
+                program.textBytes(), program.data.size(),
+                program.functions.size(), output.c_str());
+    return tools::exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("cclink", [&] { return run(argc, argv); });
 }

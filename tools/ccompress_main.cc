@@ -31,6 +31,7 @@
 #include "support/json.hh"
 #include "support/serialize.hh"
 #include "support/thread_pool.hh"
+#include "tool_common.hh"
 
 using namespace codecomp;
 
@@ -45,7 +46,7 @@ usage()
                  "[--strategy greedy|reference|refit] [--max-entries N] "
                  "[--max-len N] [--jobs N] [--stats] "
                  "[--stats-json <file>]\n");
-    return 2;
+    return tools::exitUserError;
 }
 
 int
@@ -57,7 +58,7 @@ badArg(const char *fmt, ...)
     std::vfprintf(stderr, fmt, args);
     std::fputc('\n', stderr);
     va_end(args);
-    return 2;
+    return tools::exitUserError;
 }
 
 /** "dir/prog.ccp" -> "prog". */
@@ -139,10 +140,8 @@ jsonRecord(const std::string &input, const std::string &output,
            "\"pipeline\":" + stats.toJson() + "}";
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::vector<std::string> inputs;
     std::string output;
@@ -217,7 +216,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "ccompress: several inputs need a directory "
                      "output (end it with '/')\n");
-        return 2;
+        return tools::exitUserError;
     }
 
     // Each input is an independent compress; fan the batch out across
@@ -248,13 +247,13 @@ main(int argc, char **argv)
             return report;
         });
 
-    int status = 0;
+    int status = tools::exitOk;
     std::string jsonOut = "[";
     for (const CompressReport &report : reports) {
         std::fputs(report.text.c_str(),
                    report.failed ? stderr : stdout);
         if (report.failed)
-            status = 1;
+            status = tools::exitUserError;
         if (!report.json.empty()) {
             if (jsonOut.size() > 1)
                 jsonOut += ",";
@@ -262,8 +261,16 @@ main(int argc, char **argv)
         }
     }
     jsonOut += "]\n";
-    if (wantJson && status == 0)
+    if (wantJson && status == tools::exitOk)
         writeFile(statsJsonPath,
                   std::vector<uint8_t>(jsonOut.begin(), jsonOut.end()));
     return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("ccompress", [&] { return run(argc, argv); });
 }

@@ -6,6 +6,10 @@
  *
  *   ccrun prog.ccp [--max-steps N] [--stats]
  *   ccrun prog.cci [--max-steps N] [--stats]
+ *
+ * Exit status: the simulated program's exit code on a clean run;
+ * otherwise the contract in tool_common.hh (1 bad input, 2 machine
+ * check during execution, 3 internal panic).
  */
 
 #include <cstdio>
@@ -15,6 +19,7 @@
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
 #include "support/serialize.hh"
+#include "tool_common.hh"
 
 using namespace codecomp;
 
@@ -26,7 +31,7 @@ usage()
     std::fprintf(stderr,
                  "usage: ccrun <prog.ccp|prog.cci> [--max-steps N] "
                  "[--stats]\n");
-    return 2;
+    return tools::exitUserError;
 }
 
 bool
@@ -37,10 +42,8 @@ hasMagic(const std::vector<uint8_t> &bytes, const char *magic)
            bytes[3] == magic[3];
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string input;
     uint64_t max_steps = 1ull << 28;
@@ -61,44 +64,45 @@ main(int argc, char **argv)
     if (input.empty())
         return usage();
 
-    try {
-        std::vector<uint8_t> bytes = readFile(input);
-        if (hasMagic(bytes, "CCPR")) {
-            Program program = loadProgram(bytes);
-            ExecResult result = runProgram(program, max_steps);
-            std::fputs(result.output.c_str(), stdout);
-            if (stats)
-                std::fprintf(stderr,
-                             "ccrun: %llu instructions, exit %d\n",
-                             static_cast<unsigned long long>(
-                                 result.instCount),
-                             result.exitCode);
-            return result.exitCode & 0xff;
-        }
-        if (hasMagic(bytes, "CCIM")) {
-            compress::CompressedImage image = loadImage(bytes);
-            CompressedCpu cpu(image);
-            ExecResult result = cpu.run(max_steps);
-            std::fputs(result.output.c_str(), stdout);
-            if (stats) {
-                const FetchStats &fetch = cpu.fetchStats();
-                std::fprintf(
-                    stderr,
-                    "ccrun: %llu instructions (%llu fetches, %llu "
-                    "codewords, %llu expanded), exit %d\n",
-                    static_cast<unsigned long long>(result.instCount),
-                    static_cast<unsigned long long>(fetch.itemFetches),
-                    static_cast<unsigned long long>(fetch.codewordFetches),
-                    static_cast<unsigned long long>(fetch.expandedInsts),
-                    result.exitCode);
-            }
-            return result.exitCode & 0xff;
-        }
-        std::fprintf(stderr, "ccrun: '%s' is neither .ccp nor .cci\n",
-                     input.c_str());
-        return 1;
-    } catch (const std::exception &error) {
-        std::fprintf(stderr, "ccrun: %s\n", error.what());
-        return 1;
+    std::vector<uint8_t> bytes = readFile(input);
+    if (hasMagic(bytes, "CCPR")) {
+        Program program = loadProgram(bytes);
+        ExecResult result = runProgram(program, max_steps);
+        std::fputs(result.output.c_str(), stdout);
+        if (stats)
+            std::fprintf(stderr, "ccrun: %llu instructions, exit %d\n",
+                         static_cast<unsigned long long>(result.instCount),
+                         result.exitCode);
+        return result.exitCode & 0xff;
     }
+    if (hasMagic(bytes, "CCIM")) {
+        compress::CompressedImage image = loadImage(bytes);
+        CompressedCpu cpu(image);
+        ExecResult result = cpu.run(max_steps);
+        std::fputs(result.output.c_str(), stdout);
+        if (stats) {
+            const FetchStats &fetch = cpu.fetchStats();
+            std::fprintf(
+                stderr,
+                "ccrun: %llu instructions (%llu fetches, %llu "
+                "codewords, %llu expanded), exit %d\n",
+                static_cast<unsigned long long>(result.instCount),
+                static_cast<unsigned long long>(fetch.itemFetches),
+                static_cast<unsigned long long>(fetch.codewordFetches),
+                static_cast<unsigned long long>(fetch.expandedInsts),
+                result.exitCode);
+        }
+        return result.exitCode & 0xff;
+    }
+    std::fprintf(stderr, "ccrun: '%s' is neither .ccp nor .cci\n",
+                 input.c_str());
+    return tools::exitUserError;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("ccrun", [&] { return run(argc, argv); });
 }

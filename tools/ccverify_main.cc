@@ -19,10 +19,17 @@
  *   --check-interval N   full joint state walk every N instructions
  *   --inject dict|rank|disp|all   fault-injection self-test mode:
  *                        mutate the image and expect a divergence
- *   --seed N             fault-injection seed
+ *   --corrupt N          corruption-campaign mode: N seeded byte-level
+ *                        mutants of the serialized image (plus the
+ *                        structural mutant set) per scheme, each of
+ *                        which must be load-rejected, machine-check
+ *                        trapped, or provably behavior-preserving
+ *   --seed N             fault-injection / corruption seed
  *
- * Exit status: 0 all verified (or, with --inject, every fault was
- * detected); 1 divergence (or an undetected fault); 2 usage error.
+ * Exit status follows tool_common.hh: 0 all verified (with --inject,
+ * every fault detected; with --corrupt, every mutant contained);
+ * 1 usage or input error; 2 a verification finding (divergence,
+ * undetected fault, or corruption-hardening failure); 3 internal panic.
  */
 
 #include <cstdio>
@@ -32,6 +39,7 @@
 #include "compress/compressor.hh"
 #include "compress/objfile.hh"
 #include "support/serialize.hh"
+#include "tool_common.hh"
 #include "verify/fault.hh"
 #include "verify/lockstep.hh"
 #include "workloads/workloads.hh"
@@ -49,8 +57,8 @@ usage()
         "  [--scheme baseline|onebyte|nibble|all]\n"
         "  [--strategy greedy|reference|refit] [--max-steps N]\n"
         "  [--window N] [--max-divergences N] [--check-interval N]\n"
-        "  [--inject dict|rank|disp|all] [--seed N]\n");
-    return 2;
+        "  [--inject dict|rank|disp|all] [--corrupt N] [--seed N]\n");
+    return tools::exitUserError;
 }
 
 bool
@@ -107,14 +115,41 @@ verifyInjected(const Program &program, compress::Scheme scheme,
     return true;
 }
 
-} // namespace
+/** Corruption campaign: every mutant must be contained. */
+bool
+verifyCorrupt(const Program &program, compress::Scheme scheme,
+              compress::StrategyKind strategy, uint64_t count,
+              uint64_t seed, uint64_t max_steps)
+{
+    compress::CompressorConfig cc;
+    cc.scheme = scheme;
+    cc.strategy = strategy;
+    compress::CompressedImage image =
+        compress::compressProgram(program, cc);
+    verify::CorruptionCampaign campaign =
+        verify::runCorruptionCampaign(program, image, count, seed,
+                                      max_steps);
+    std::printf("[%s] corruption: %llu mutants: %llu load-rejected, "
+                "%llu trapped, %llu ran identical, %zu FAILURES\n",
+                compress::schemeName(scheme),
+                static_cast<unsigned long long>(campaign.total),
+                static_cast<unsigned long long>(campaign.loadRejected),
+                static_cast<unsigned long long>(campaign.trapped),
+                static_cast<unsigned long long>(campaign.ranIdentical),
+                campaign.failures.size());
+    for (const verify::MutantReport &failure : campaign.failures)
+        std::printf("  %s: %s\n    %s\n",
+                    verify::mutantOutcomeName(failure.outcome),
+                    failure.description.c_str(), failure.detail.c_str());
+    return campaign.ok();
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string input, benchmark, scheme_arg = "all", inject_arg;
     compress::StrategyKind strategy = compress::StrategyKind::Greedy;
-    uint64_t seed = 1;
+    uint64_t seed = 1, corrupt_count = 0;
     verify::LockstepConfig config;
 
     for (int i = 1; i < argc; ++i) {
@@ -141,6 +176,8 @@ main(int argc, char **argv)
                 static_cast<uint64_t>(std::atoll(argv[++i]));
         } else if (arg == "--inject" && i + 1 < argc) {
             inject_arg = argv[++i];
+        } else if (arg == "--corrupt" && i + 1 < argc) {
+            corrupt_count = static_cast<uint64_t>(std::atoll(argv[++i]));
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = static_cast<uint64_t>(std::atoll(argv[++i]));
         } else if (!arg.empty() && arg[0] != '-') {
@@ -183,35 +220,41 @@ main(int argc, char **argv)
         return usage();
     }
 
-    try {
-        Program program;
-        if (!benchmark.empty()) {
-            program = workloads::buildBenchmark(benchmark);
-        } else {
-            std::vector<uint8_t> bytes = readFile(input);
-            if (!hasMagic(bytes, "CCPR")) {
-                std::fprintf(stderr,
-                             "ccverify: %s is not a .ccp program\n",
-                             input.c_str());
-                return 2;
-            }
-            program = loadProgram(bytes);
+    Program program;
+    if (!benchmark.empty()) {
+        program = workloads::buildBenchmark(benchmark);
+    } else {
+        std::vector<uint8_t> bytes = readFile(input);
+        if (!hasMagic(bytes, "CCPR")) {
+            std::fprintf(stderr, "ccverify: %s is not a .ccp program\n",
+                         input.c_str());
+            return tools::exitUserError;
         }
-
-        bool ok = true;
-        for (compress::Scheme scheme : schemes) {
-            if (kinds.empty()) {
-                ok = verifyScheme(program, scheme, strategy, config) && ok;
-            } else {
-                for (verify::FaultKind kind : kinds)
-                    ok = verifyInjected(program, scheme, strategy, kind,
-                                        seed, config) &&
-                         ok;
-            }
-        }
-        return ok ? 0 : 1;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "ccverify: %s\n", e.what());
-        return 1;
+        program = loadProgram(bytes);
     }
+
+    bool ok = true;
+    for (compress::Scheme scheme : schemes) {
+        if (corrupt_count > 0) {
+            ok = verifyCorrupt(program, scheme, strategy, corrupt_count,
+                               seed, config.maxSteps) &&
+                 ok;
+        } else if (kinds.empty()) {
+            ok = verifyScheme(program, scheme, strategy, config) && ok;
+        } else {
+            for (verify::FaultKind kind : kinds)
+                ok = verifyInjected(program, scheme, strategy, kind, seed,
+                                    config) &&
+                     ok;
+        }
+    }
+    return ok ? tools::exitOk : tools::exitFinding;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("ccverify", [&] { return run(argc, argv); });
 }

@@ -15,6 +15,7 @@
 #include "compress/objfile.hh"
 #include "link/object.hh"
 #include "support/serialize.hh"
+#include "tool_common.hh"
 #include "workloads/workloads.hh"
 
 using namespace codecomp;
@@ -31,13 +32,11 @@ usage()
                  "compilation)\n"
                  "       minicc --benchmark <name> -o <out.ccp> "
                  "[--scale N]\n");
-    return 2;
+    return tools::exitUserError;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string input;
     std::string benchmark;
@@ -69,37 +68,39 @@ main(int argc, char **argv)
     if (output.empty() || (input.empty() == benchmark.empty()))
         return usage();
 
-    try {
-        std::string source;
-        if (!benchmark.empty()) {
-            source = workloads::benchmarkSource(benchmark, scale);
-        } else {
-            std::vector<uint8_t> bytes = readFile(input);
-            source.assign(bytes.begin(), bytes.end());
-        }
-        std::string label =
-            benchmark.empty() ? input : benchmark;
-        if (compile_only) {
-            link::ObjectModule module =
-                codegen::compileModule(source, label, options);
-            writeFile(output, link::saveModule(module));
-            std::printf("%s: %zu instructions, %zu bytes .data, %zu "
-                        "functions, %zu calls to resolve -> %s\n",
-                        label.c_str(), module.text.size(),
-                        module.data.size(), module.functions.size(),
-                        module.calls.size(), output.c_str());
-        } else {
-            Program program = codegen::compile(source, options);
-            writeFile(output, saveProgram(program));
-            std::printf("%s: %zu instructions (%u bytes .text), %zu bytes "
-                        ".data, %zu functions -> %s\n",
-                        label.c_str(), program.text.size(),
-                        program.textBytes(), program.data.size(),
-                        program.functions.size(), output.c_str());
-        }
-    } catch (const std::exception &error) {
-        std::fprintf(stderr, "minicc: %s\n", error.what());
-        return 1;
+    std::string source;
+    if (!benchmark.empty()) {
+        source = workloads::benchmarkSource(benchmark, scale);
+    } else {
+        std::vector<uint8_t> bytes = readFile(input);
+        source.assign(bytes.begin(), bytes.end());
     }
-    return 0;
+    std::string label = benchmark.empty() ? input : benchmark;
+    if (compile_only) {
+        link::ObjectModule module =
+            codegen::compileModule(source, label, options);
+        writeFile(output, link::saveModule(module));
+        std::printf("%s: %zu instructions, %zu bytes .data, %zu "
+                    "functions, %zu calls to resolve -> %s\n",
+                    label.c_str(), module.text.size(),
+                    module.data.size(), module.functions.size(),
+                    module.calls.size(), output.c_str());
+    } else {
+        Program program = codegen::compile(source, options);
+        writeFile(output, saveProgram(program));
+        std::printf("%s: %zu instructions (%u bytes .text), %zu bytes "
+                    ".data, %zu functions -> %s\n",
+                    label.c_str(), program.text.size(),
+                    program.textBytes(), program.data.size(),
+                    program.functions.size(), output.c_str());
+    }
+    return tools::exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("minicc", [&] { return run(argc, argv); });
 }
