@@ -14,8 +14,12 @@
  * rate in the capacity-limited region, with the largest relative gain
  * where the native working set just exceeds the cache. Direct-mapped
  * conflict placement can flip isolated points; associativity smooths
- * them.
+ * them. The eviction table tells the two miss flavours apart: cold
+ * fills never evict, capacity/conflict fills do (cache::CacheStats).
  */
+
+#include <array>
+#include <iterator>
 
 #include "cache/icache.hh"
 #include "compress/compressor.hh"
@@ -25,18 +29,34 @@
 using namespace codecomp;
 using namespace codecomp::bench;
 
+namespace {
+
+constexpr uint32_t sizes[] = {512, 1024, 2048, 4096, 8192};
+constexpr size_t numSizes = std::size(sizes);
+
+cache::CacheStats
+runThroughCache(const cache::CacheConfig &config, auto &&cpu)
+{
+    cache::ICache cache(config);
+    cpu.setFetchHook([&cache](const FetchEvent &event) {
+        cache.access(event.addr, event.bytes);
+    });
+    cpu.run(1ull << 27);
+    return cache.stats();
+}
+
+} // namespace
+
 int
 main()
 {
     banner("Extension: I-cache",
            "miss rates, native vs compressed fetch (32B lines, "
            "direct-mapped)");
-    const uint32_t sizes[] = {512, 1024, 2048, 4096, 8192};
-    std::printf("%-9s", "bench");
-    for (uint32_t size : sizes)
-        std::printf("     %4uB (n/c)", size);
-    std::printf("\n");
 
+    std::vector<std::string> names;
+    std::vector<std::array<cache::CacheStats, numSizes>> native_stats;
+    std::vector<std::array<cache::CacheStats, numSizes>> compressed_stats;
     for (const auto &[name, program] : buildSuite()) {
         compress::CompressorConfig config;
         config.scheme = compress::Scheme::Nibble;
@@ -44,38 +64,53 @@ main()
         compress::CompressedImage image =
             compress::compressProgram(program, config);
 
-        std::printf("%-9s", name.c_str());
-        for (uint32_t size : sizes) {
-            cache::CacheConfig cache_config;
-            cache_config.capacityBytes = size;
-            cache_config.lineBytes = 32;
-            cache_config.ways = 1;
-
-            cache::ICache native(cache_config);
+        std::array<cache::CacheStats, numSizes> native, compressed;
+        for (size_t i = 0; i < numSizes; ++i) {
+            cache::CacheConfig cache_config{sizes[i], 32, 1};
             Cpu cpu(program);
-            cpu.setFetchHook([&native](uint32_t addr, uint32_t bytes) {
-                native.access(addr, bytes);
-            });
-            cpu.run(1ull << 27);
-
-            cache::ICache compressed(cache_config);
+            native[i] = runThroughCache(cache_config, cpu);
             CompressedCpu ccpu(image);
-            ccpu.setFetchHook(
-                [&compressed](uint32_t addr, uint32_t bytes) {
-                    compressed.access(addr, bytes);
-                });
-            ccpu.run(1ull << 27);
-
-            std::printf("  %5.2f%%/%5.2f%%",
-                        native.stats().missRate() * 100,
-                        compressed.stats().missRate() * 100);
+            compressed[i] = runThroughCache(cache_config, ccpu);
         }
+        names.push_back(name);
+        native_stats.push_back(native);
+        compressed_stats.push_back(compressed);
+    }
+
+    std::printf("%-9s", "bench");
+    for (uint32_t size : sizes)
+        std::printf("     %4uB (n/c)", size);
+    std::printf("\n");
+    for (size_t b = 0; b < names.size(); ++b) {
+        std::printf("%-9s", names[b].c_str());
+        for (size_t i = 0; i < numSizes; ++i)
+            std::printf("  %5.2f%%/%5.2f%%",
+                        native_stats[b][i].missRate() * 100,
+                        compressed_stats[b][i].missRate() * 100);
         std::printf("\n");
     }
+
+    std::printf("\nevictions (native/compressed):\n%-9s", "bench");
+    for (uint32_t size : sizes)
+        std::printf("    %4uB (n/c)", size);
+    std::printf("\n");
+    for (size_t b = 0; b < names.size(); ++b) {
+        std::printf("%-9s", names[b].c_str());
+        for (size_t i = 0; i < numSizes; ++i)
+            std::printf("  %6llu/%6llu",
+                        static_cast<unsigned long long>(
+                            native_stats[b][i].evictions),
+                        static_cast<unsigned long long>(
+                            compressed_stats[b][i].evictions));
+        std::printf("\n");
+    }
+
     std::printf("shape: compressed code misses less in the capacity-"
                 "limited region (largest gap where the native working set "
                 "just misses fitting);\nisolated direct-mapped conflict "
                 "points can flip (e.g. a hot loop straddling a set) -- "
-                "add a way to smooth them.\n");
+                "add a way to smooth them.\nevictions follow the same "
+                "shape minus the cold fills (every miss beyond the first "
+                "touch of a line is an eviction).\n");
     return 0;
 }

@@ -13,17 +13,18 @@
  *   static bytes   -- compressed program + dictionary size
  *   fetched bytes  -- bytes moved by the fetch unit over a full run
  *
- * Selection reuses the candidate machinery; the traffic-weighted
- * variant scores candidates by execution counts gathered from a
- * profiling run on the plain processor.
+ * The traffic-weighted selection itself lives in the library
+ * (compress::selectByTraffic, scored by execution counts from
+ * timing::profileExecutionCounts); bench/ext_timing reuses the same
+ * machinery to place the traffic dictionary on the size-vs-cycles
+ * plane.
  */
 
-#include <algorithm>
-
 #include "compress/compressor.hh"
-#include "compress/greedy.hh"
+#include "compress/strategy.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
+#include "timing/timing.hh"
 #include "common.hh"
 
 using namespace codecomp;
@@ -32,110 +33,13 @@ using namespace codecomp::compress;
 
 namespace {
 
-/** Execution count per instruction index, from a profiling run. */
-std::vector<uint64_t>
-profileProgram(const Program &program)
-{
-    std::vector<uint64_t> counts(program.text.size(), 0);
-    Cpu cpu(program);
-    cpu.setFetchHook([&counts, &program](uint32_t addr, uint32_t) {
-        ++counts[program.indexOfAddr(addr)];
-    });
-    cpu.run(1ull << 27);
-    return counts;
-}
-
-/** Greedy selection maximizing dynamic fetch-bytes saved. */
-SelectionResult
-selectByTraffic(const Program &program,
-                const std::vector<uint64_t> &exec_count,
-                uint32_t max_entries, uint32_t max_len,
-                unsigned cw_nibbles, unsigned insn_nibbles)
-{
-    Cfg cfg = Cfg::build(program);
-    std::vector<Candidate> candidates =
-        enumerateCandidates(program, cfg, 1, max_len);
-
-    // Dynamic nibbles saved by replacing one occurrence at position p:
-    // the whole sequence executes together (single basic block), so its
-    // execution count is the count of its first instruction.
-    auto traffic_savings = [&](const Candidate &cand,
-                               const std::vector<bool> &consumed) {
-        uint32_t length = static_cast<uint32_t>(cand.seq.size());
-        int64_t per_exec =
-            static_cast<int64_t>(insn_nibbles) * length - cw_nibbles;
-        int64_t total = 0;
-        uint64_t next_free = 0;
-        for (uint32_t pos : cand.positions) {
-            if (pos < next_free)
-                continue;
-            bool blocked = false;
-            for (uint32_t i = pos; i < pos + length; ++i)
-                if (consumed[i])
-                    blocked = true;
-            if (blocked)
-                continue;
-            total += per_exec * static_cast<int64_t>(exec_count[pos]);
-            next_free = static_cast<uint64_t>(pos) + length;
-        }
-        return total;
-    };
-
-    SelectionResult result;
-    std::vector<bool> consumed(program.text.size(), false);
-    while (result.dict.entries.size() < max_entries) {
-        int64_t best = 0;
-        uint32_t best_id = UINT32_MAX;
-        for (uint32_t id = 0; id < candidates.size(); ++id) {
-            int64_t savings = traffic_savings(candidates[id], consumed);
-            if (savings > best) {
-                best = savings;
-                best_id = id;
-            }
-        }
-        if (best_id == UINT32_MAX)
-            break;
-        const Candidate &cand = candidates[best_id];
-        uint32_t length = static_cast<uint32_t>(cand.seq.size());
-        uint32_t entry_id =
-            static_cast<uint32_t>(result.dict.entries.size());
-        uint32_t uses = 0;
-        uint64_t next_free = 0;
-        for (uint32_t pos : cand.positions) {
-            if (pos < next_free)
-                continue;
-            bool blocked = false;
-            for (uint32_t i = pos; i < pos + length; ++i)
-                if (consumed[i])
-                    blocked = true;
-            if (blocked)
-                continue;
-            for (uint32_t i = pos; i < pos + length; ++i)
-                consumed[i] = true;
-            result.placements.push_back({pos, length, entry_id});
-            ++uses;
-            next_free = static_cast<uint64_t>(pos) + length;
-        }
-        result.dict.entries.push_back(cand.seq);
-        result.useCount.push_back(uses);
-    }
-    std::sort(result.placements.begin(), result.placements.end(),
-              [](const Placement &a, const Placement &b) {
-                  return a.start < b.start;
-              });
-    return result;
-}
-
 /** Bytes moved by the compressed fetch unit over a full run. */
 uint64_t
 fetchedBytes(const CompressedImage &image)
 {
-    uint64_t bytes = 0;
     CompressedCpu cpu(image);
-    cpu.setFetchHook(
-        [&bytes](uint32_t, uint32_t n) { bytes += n; });
     cpu.run(1ull << 27);
-    return bytes;
+    return cpu.fetchStats().fetchedBytes;
 }
 
 } // namespace
@@ -150,7 +54,8 @@ main()
                 "size-s(B)", "size-t(B)", "fetch-s(B)", "fetch-t(B)",
                 "traffic");
     for (const auto &[name, program] : buildSuite()) {
-        std::vector<uint64_t> profile = profileProgram(program);
+        std::vector<uint64_t> profile =
+            timing::profileExecutionCounts(program, 1ull << 27);
 
         CompressorConfig config;
         config.scheme = Scheme::Nibble;
@@ -159,9 +64,13 @@ main()
         CompressedImage by_size = compressProgram(program, config);
 
         SchemeParams params = schemeParams(Scheme::Nibble);
-        SelectionResult traffic_sel = selectByTraffic(
-            program, profile, 64, 4,
-            params.defaultAssumedCodewordNibbles, params.insnNibbles);
+        GreedyConfig greedy;
+        greedy.maxEntries = config.maxEntries;
+        greedy.maxEntryLen = config.maxEntryLen;
+        greedy.insnNibbles = params.insnNibbles;
+        greedy.codewordNibbles = params.defaultAssumedCodewordNibbles;
+        SelectionResult traffic_sel =
+            selectByTraffic(program, profile, greedy);
         CompressedImage by_traffic =
             compressWithSelection(program, config, std::move(traffic_sel));
 

@@ -14,14 +14,41 @@ isPowerOfTwo(uint32_t value)
 
 } // namespace
 
+std::string
+cacheConfigError(const CacheConfig &config)
+{
+    if (!isPowerOfTwo(config.lineBytes) || config.lineBytes < 4)
+        return "line size must be a power of two >= 4 (got " +
+               std::to_string(config.lineBytes) + ")";
+    if (config.ways < 1)
+        return "need at least one way";
+    // numSets() would silently truncate here, dropping capacity on the
+    // floor; reject instead of modelling a cache the user didn't ask for.
+    if (config.capacityBytes % (config.lineBytes * config.ways) != 0)
+        return "capacity " + std::to_string(config.capacityBytes) +
+               " is not a whole number of sets of " +
+               std::to_string(config.lineBytes * config.ways) + " bytes";
+    uint32_t sets = config.numSets();
+    if (sets == 0)
+        return "capacity " + std::to_string(config.capacityBytes) +
+               " holds no complete set";
+    if (!isPowerOfTwo(sets))
+        return "set count " + std::to_string(sets) +
+               " must be a power of two";
+    return "";
+}
+
+void
+validateCacheConfig(const CacheConfig &config)
+{
+    std::string error = cacheConfigError(config);
+    if (!error.empty())
+        CC_FATAL("bad cache config: ", error);
+}
+
 ICache::ICache(const CacheConfig &config) : config_(config)
 {
-    CC_ASSERT(isPowerOfTwo(config.lineBytes) && config.lineBytes >= 4,
-              "line size must be a power of two >= 4");
-    CC_ASSERT(config.ways >= 1, "need at least one way");
-    CC_ASSERT(config.capacityBytes % (config.lineBytes * config.ways) == 0,
-              "capacity must be a whole number of sets");
-    CC_ASSERT(isPowerOfTwo(config.numSets()), "set count power of two");
+    validateCacheConfig(config);
     ways_.resize(static_cast<size_t>(config.numSets()) * config.ways);
 }
 
@@ -29,11 +56,11 @@ void
 ICache::reset()
 {
     std::fill(ways_.begin(), ways_.end(), Way{});
-    stats_ = CacheStats{};
+    stats_.reset();
     tick_ = 0;
 }
 
-void
+bool
 ICache::touch(uint32_t addr)
 {
     uint32_t line = addr / config_.lineBytes;
@@ -48,24 +75,30 @@ ICache::touch(uint32_t addr)
     for (uint32_t w = 0; w < config_.ways; ++w) {
         if (base[w].tag == tag) {
             base[w].lastUse = tick_;
-            return; // hit
+            return true; // hit
         }
         if (base[w].lastUse < victim->lastUse)
             victim = &base[w];
     }
     ++stats_.misses;
+    ++stats_.lineFills;
+    if (victim->tag != invalidTag)
+        ++stats_.evictions;
     victim->tag = tag;
     victim->lastUse = tick_;
+    return false;
 }
 
-void
+unsigned
 ICache::access(uint32_t addr, uint32_t bytes)
 {
     CC_ASSERT(bytes >= 1, "empty access");
     uint32_t first_line = addr / config_.lineBytes;
     uint32_t last_line = (addr + bytes - 1) / config_.lineBytes;
+    unsigned missed = 0;
     for (uint32_t line = first_line; line <= last_line; ++line)
-        touch(line * config_.lineBytes);
+        missed += !touch(line * config_.lineBytes);
+    return missed;
 }
 
 } // namespace codecomp::cache

@@ -9,13 +9,14 @@
  * both processors (Cpu fetches 4-byte instructions; CompressedCpu
  * fetches variable-size items from the compressed image), so the
  * locality benefit of compressed code can be measured directly
- * (bench/ext_icache).
+ * (bench/ext_icache) and priced in cycles (src/timing).
  */
 
 #ifndef CODECOMP_CACHE_ICACHE_HH
 #define CODECOMP_CACHE_ICACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace codecomp::cache {
@@ -26,16 +27,32 @@ struct CacheConfig
     uint32_t lineBytes = 32;
     uint32_t ways = 1; //!< 1 = direct-mapped
 
+    /** Only meaningful for a valid config (see cacheConfigError):
+     *  validation rejects geometries where this division truncates. */
     uint32_t numSets() const
     {
         return capacityBytes / (lineBytes * ways);
     }
 };
 
+/**
+ * Human-readable reason @p config cannot describe a cache, or "" if it
+ * is valid: power-of-two line size >= 4, at least one way, a capacity
+ * that is a whole (power-of-two, non-zero) number of sets. ICache
+ * raises a catchable fatal on a non-empty answer; CLI front ends check
+ * it first so the user gets a usage error, not an abort.
+ */
+std::string cacheConfigError(const CacheConfig &config);
+
+/** CC_FATAL (catchable) unless cacheConfigError(config) is empty. */
+void validateCacheConfig(const CacheConfig &config);
+
 struct CacheStats
 {
     uint64_t accesses = 0;
     uint64_t misses = 0;
+    uint64_t lineFills = 0;  //!< lines brought in (== misses here)
+    uint64_t evictions = 0;  //!< fills that displaced a resident line
 
     double
     missRate() const
@@ -44,23 +61,30 @@ struct CacheStats
                    ? 0.0
                    : static_cast<double>(misses) / accesses;
     }
+
+    void reset() { *this = CacheStats{}; }
+
+    bool operator==(const CacheStats &) const = default;
 };
 
 /** Set-associative LRU instruction cache. */
 class ICache
 {
   public:
+    /** Catchable fatal if the geometry is invalid (cacheConfigError). */
     explicit ICache(const CacheConfig &config);
 
     /**
      * Access @p bytes bytes starting at @p addr (an access that spans
      * a line boundary touches both lines, like a real fetch unit's
-     * sequential refill).
+     * sequential refill). Returns the number of lines missed (0..2 for
+     * any fetch no larger than a line), so timing models can charge
+     * each fill.
      */
-    void access(uint32_t addr, uint32_t bytes);
+    unsigned access(uint32_t addr, uint32_t bytes);
 
-    /** Probe a single line containing @p addr. */
-    void touch(uint32_t addr);
+    /** Probe a single line containing @p addr; true on a hit. */
+    bool touch(uint32_t addr);
 
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }
@@ -69,9 +93,13 @@ class ICache
   private:
     struct Way
     {
-        uint64_t tag = UINT64_MAX;
+        uint64_t tag = invalidTag;
         uint64_t lastUse = 0;
     };
+
+    /** 32-bit addresses make every real tag < 2^32, so this sentinel
+     *  can never collide with a resident line. */
+    static constexpr uint64_t invalidTag = UINT64_MAX;
 
     CacheConfig config_;
     std::vector<Way> ways_; //!< numSets * ways, row-major by set

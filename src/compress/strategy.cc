@@ -245,6 +245,75 @@ makeStrategy(StrategyKind kind, const RefitOptions &refit)
     CC_PANIC("bad strategy kind");
 }
 
+SelectionResult
+selectByTraffic(const Program &program,
+                const std::vector<uint64_t> &execCount,
+                const GreedyConfig &config)
+{
+    std::string config_error = greedyConfigError(config);
+    if (!config_error.empty())
+        CC_FATAL("bad selection config: ", config_error);
+    if (execCount.size() != program.text.size())
+        CC_FATAL("profile covers ", execCount.size(),
+                 " instructions, program has ", program.text.size());
+
+    Cfg cfg = Cfg::build(program);
+    std::vector<Candidate> candidates = enumerateCandidates(
+        program, cfg, config.minEntryLen, config.maxEntryLen);
+
+    // Dynamic nibbles saved by one occurrence per execution; the whole
+    // sequence executes together (single basic block), so its count is
+    // the count of its first instruction.
+    auto traffic_savings = [&](const Candidate &cand,
+                               const std::vector<bool> &consumed) {
+        uint32_t length = static_cast<uint32_t>(cand.seq.size());
+        int64_t per_exec =
+            static_cast<int64_t>(config.insnNibbles) * length -
+            static_cast<int64_t>(config.codewordNibbles);
+        int64_t total = 0;
+        forEachNonOverlapping(cand.positions, length, consumed,
+                              [&](uint32_t pos) {
+                                  total += per_exec *
+                                           static_cast<int64_t>(
+                                               execCount[pos]);
+                              });
+        return total;
+    };
+
+    SelectionResult result;
+    std::vector<bool> consumed(program.text.size(), false);
+    while (result.dict.entries.size() < config.maxEntries) {
+        int64_t best = 0;
+        uint32_t best_id = UINT32_MAX;
+        for (uint32_t id = 0; id < candidates.size(); ++id) {
+            int64_t savings = traffic_savings(candidates[id], consumed);
+            if (savings > best) {
+                best = savings;
+                best_id = id;
+            }
+        }
+        if (best_id == UINT32_MAX)
+            break;
+        const Candidate &cand = candidates[best_id];
+        uint32_t length = static_cast<uint32_t>(cand.seq.size());
+        uint32_t entry_id =
+            static_cast<uint32_t>(result.dict.entries.size());
+        uint32_t uses = forEachNonOverlapping(
+            cand.positions, length, consumed, [&](uint32_t pos) {
+                for (uint32_t i = pos; i < pos + length; ++i)
+                    consumed[i] = true;
+                result.placements.push_back({pos, length, entry_id});
+            });
+        result.dict.entries.push_back(cand.seq);
+        result.useCount.push_back(uses);
+    }
+    std::sort(result.placements.begin(), result.placements.end(),
+              [](const Placement &a, const Placement &b) {
+                  return a.start < b.start;
+              });
+    return result;
+}
+
 uint64_t
 estimateSelectionNibbles(const SelectionResult &selection,
                          const GreedyConfig &config, Scheme scheme,

@@ -83,6 +83,25 @@ std::unique_ptr<SelectionStrategy> makeStrategy(StrategyKind kind,
                                                 const RefitOptions &refit = {});
 
 /**
+ * Traffic-weighted greedy selection: maximize *dynamic* fetch nibbles
+ * saved instead of static nibbles. Each occurrence of a candidate is
+ * worth (insnNibbles * len - codewordNibbles) nibbles of fetch traffic
+ * per execution; a candidate lies within one basic block, so the
+ * execution count of an occurrence is the count of its first
+ * instruction. @p execCount holds per-instruction execution counts
+ * indexed by original instruction index (timing::profileExecutionCounts
+ * produces one from a profiling run) and must cover program.text.
+ *
+ * This is the static-vs-traffic objective split of bench/ext_profile,
+ * promoted into the library so the timing subsystem and future
+ * profile-guided strategies share one definition. Catchable fatal on an
+ * invalid config or a mis-sized profile.
+ */
+SelectionResult selectByTraffic(const Program &program,
+                                const std::vector<uint64_t> &execCount,
+                                const GreedyConfig &config);
+
+/**
  * Estimated compressed size, in nibbles, of @p selection: codewords at
  * their rank-derived width + uncompressed instructions + dictionary
  * contents. Equals Composition::totalNibbles() of the realized image

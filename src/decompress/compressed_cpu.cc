@@ -57,18 +57,19 @@ CompressedCpu::step()
         throw MachineCheckError(MachineFault::FetchOutOfText, pc_,
                                 "compressed PC below text base");
     const DecodedItem &item = engine_.itemAt(pc_ - base);
-    if (fetch_hook_) {
-        uint32_t first_byte = pc_ / 2;
-        uint32_t last_byte = (pc_ + item.nibbles - 1) / 2;
-        fetch_hook_(first_byte, last_byte - first_byte + 1);
-    }
+    uint32_t first_byte = pc_ / 2;
+    uint32_t last_byte = (pc_ + item.nibbles - 1) / 2;
+    // One event per item, fired after its effects land so the retired
+    // count and redirect flag are final (fetch.hh) -- a redirect can cut
+    // a dictionary expansion short, and the halting Sc still counts.
+    FetchEvent event{first_byte, last_byte - first_byte + 1, 0,
+                     item.isCodeword, false};
     uint32_t next_pc = pc_ + item.nibbles;
     uint32_t self_pc = pc_;
-    ++stats_.itemFetches;
     redirected_ = false;
+    bool halted = false;
 
     if (item.isCodeword) {
-        ++stats_.codewordFetches;
         const std::vector<isa::Word> &entry = engine_.entry(item.rank);
         for (unsigned slot = 0; slot < entry.size(); ++slot) {
             // The budget is per expanded architectural instruction, not
@@ -79,7 +80,7 @@ CompressedCpu::step()
                          " steps");
             isa::Inst inst = isa::decode(entry[slot]);
             ++inst_count_;
-            ++stats_.expandedInsts;
+            ++event.retired;
             // The loader's validator rejects such dictionaries on disk;
             // in-memory corruption still must trap, not misexecute.
             if (inst.isRelativeBranch())
@@ -97,8 +98,10 @@ CompressedCpu::step()
                 machine_.execute(inst);
                 if (retire_hook_)
                     retire_hook_(inst, self_pc, slot);
-                if (machine_.halted())
-                    return false;
+                if (machine_.halted()) {
+                    halted = true;
+                    break;
+                }
             }
         }
     } else {
@@ -107,6 +110,7 @@ CompressedCpu::step()
                      " steps");
         isa::Inst inst = isa::decode(item.word);
         ++inst_count_;
+        ++event.retired;
         if (inst.isBranch()) {
             execBranch(inst, next_pc, self_pc);
             if (retire_hook_)
@@ -115,10 +119,15 @@ CompressedCpu::step()
             machine_.execute(inst);
             if (retire_hook_)
                 retire_hook_(inst, self_pc, 0);
-            if (machine_.halted())
-                return false;
+            halted = machine_.halted();
         }
     }
+    event.taken = redirected_;
+    stats_.record(event);
+    if (fetch_hook_)
+        fetch_hook_(event);
+    if (halted)
+        return false;
     if (!redirected_)
         pc_ = next_pc;
     return true;

@@ -12,17 +12,10 @@
 #include <functional>
 
 #include "decompress/engine.hh"
+#include "decompress/fetch.hh"
 #include "decompress/machine.hh"
 
 namespace codecomp {
-
-/** Fetch-path statistics (decode-efficiency discussion, paper 2.1). */
-struct FetchStats
-{
-    uint64_t itemFetches = 0;     //!< slots fetched from the stream
-    uint64_t codewordFetches = 0; //!< slots that were codewords
-    uint64_t expandedInsts = 0;   //!< instructions produced by expansion
-};
 
 class CompressedCpu
 {
@@ -43,9 +36,10 @@ class CompressedCpu
     const FetchStats &fetchStats() const { return stats_; }
     uint32_t pc() const { return pc_; }
 
-    /** Observe every item fetch as a byte-granular access into the
-     *  compressed image (nibble addresses round outward to bytes). */
-    using FetchHook = std::function<void(uint32_t addr, uint32_t bytes)>;
+    /** Observe the fetch stream (fetch.hh): one event per item, as a
+     *  byte-granular access into the compressed image (nibble addresses
+     *  round outward to bytes), with the retired-instruction count and
+     *  redirect flag of the whole item. */
     void setFetchHook(FetchHook hook) { fetch_hook_ = std::move(hook); }
 
     /**

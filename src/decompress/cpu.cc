@@ -61,13 +61,18 @@ Cpu::step()
         throw MachineCheckError(MachineFault::MisalignedPc, pc_,
                                 "PC not instruction aligned");
     uint32_t index = (pc_ - Program::textBase) / isa::instBytes;
-    if (fetch_hook_)
-        fetch_hook_(pc_, isa::instBytes);
     isa::Inst inst = isa::decode(program_.text[index]);
     ++inst_count_;
 
+    // The fetch event fires after the instruction's effects land so the
+    // taken flag is final (fetch.hh); the halting Sc still counts.
+    FetchEvent event{pc_, isa::instBytes, 1, false, false};
+
     if (!inst.isBranch()) {
         machine_.execute(inst);
+        stats_.record(event);
+        if (fetch_hook_)
+            fetch_hook_(event);
         pc_ += isa::instBytes;
         return !machine_.halted();
     }
@@ -113,6 +118,10 @@ Cpu::step()
     if (inst.lk)
         machine_.setLr(next_pc);
     pc_ = taken ? target : next_pc;
+    event.taken = taken;
+    stats_.record(event);
+    if (fetch_hook_)
+        fetch_hook_(event);
     return true;
 }
 

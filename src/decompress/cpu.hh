@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "decompress/fetch.hh"
 #include "decompress/machine.hh"
 #include "program/program.hh"
 
@@ -37,9 +38,10 @@ class Cpu
     Machine &machine() { return machine_; }
     uint32_t pc() const { return pc_; }
     uint64_t instCount() const { return inst_count_; }
+    const FetchStats &fetchStats() const { return stats_; }
 
-    /** Observe every fetch (byte address + size); drives cache models. */
-    using FetchHook = std::function<void(uint32_t addr, uint32_t bytes)>;
+    /** Observe the fetch stream (fetch.hh); drives cache and timing
+     *  models. Every event has bytes == 4 and retired == 1 here. */
     void setFetchHook(FetchHook hook) { fetch_hook_ = std::move(hook); }
 
   private:
@@ -47,6 +49,7 @@ class Cpu
     Machine machine_;
     uint32_t pc_;
     uint64_t inst_count_ = 0;
+    FetchStats stats_;
     FetchHook fetch_hook_;
 };
 

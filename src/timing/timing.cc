@@ -1,0 +1,137 @@
+#include "timing/timing.hh"
+
+#include "decompress/cpu.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace codecomp::timing {
+
+std::string
+timingConfigError(const TimingConfig &config)
+{
+    if (config.frontendWidth < 1 || config.frontendWidth > 16)
+        return "front-end width must be 1..16 (got " +
+               std::to_string(config.frontendWidth) + ")";
+    std::string cache_error = cache::cacheConfigError(config.icache);
+    if (!cache_error.empty())
+        return "icache: " + cache_error;
+    if (config.missPenaltyCycles > 10000)
+        return "miss penalty must be <= 10000 cycles";
+    if (config.memoryCyclesPerWord > 10000)
+        return "memory cycles per word must be <= 10000";
+    if (config.expansionCyclesPerWord > 10000)
+        return "expansion cycles per word must be <= 10000";
+    if (config.redirectPenaltyCycles > 10000)
+        return "redirect penalty must be <= 10000 cycles";
+    return "";
+}
+
+void
+validateTimingConfig(const TimingConfig &config)
+{
+    std::string error = timingConfigError(config);
+    if (!error.empty())
+        CC_FATAL("bad timing config: ", error);
+}
+
+namespace {
+
+// Validate before the member I-cache is built, so the user sees the
+// timing-config error rather than a bare cache one.
+const TimingConfig &
+validated(const TimingConfig &config)
+{
+    validateTimingConfig(config);
+    return config;
+}
+
+} // namespace
+
+FetchTimer::FetchTimer(const TimingConfig &config)
+    : config_(validated(config)), icache_(config.icache)
+{
+}
+
+void
+FetchTimer::onFetch(const FetchEvent &event)
+{
+    ++items_;
+    instructions_ += event.retired;
+    fetchedBytes_ += event.bytes;
+    unsigned missed = icache_.access(event.addr, event.bytes);
+    stallIcacheMiss_ += missed * config_.lineFillCycles();
+    if (event.isCodeword && event.retired > 1)
+        stallExpansion_ += static_cast<uint64_t>(
+                               config_.expansionCyclesPerWord) *
+                           (event.retired - 1);
+    if (event.taken)
+        stallRedirect_ += config_.redirectPenaltyCycles;
+}
+
+void
+FetchTimer::reset()
+{
+    icache_.reset();
+    instructions_ = 0;
+    items_ = 0;
+    fetchedBytes_ = 0;
+    stallIcacheMiss_ = 0;
+    stallExpansion_ = 0;
+    stallRedirect_ = 0;
+}
+
+TimingReport
+FetchTimer::report() const
+{
+    TimingReport report;
+    report.instructions = instructions_;
+    report.items = items_;
+    report.fetchedBytes = fetchedBytes_;
+    report.baseCycles =
+        (instructions_ + config_.frontendWidth - 1) / config_.frontendWidth;
+    report.stallIcacheMiss = stallIcacheMiss_;
+    report.stallExpansion = stallExpansion_;
+    report.stallRedirect = stallRedirect_;
+    report.icache = icache_.stats();
+    return report;
+}
+
+std::string
+TimingReport::toJson() const
+{
+    JsonWriter json;
+    json.beginObject()
+        .member("instructions", instructions)
+        .member("items", items)
+        .member("fetched_bytes", fetchedBytes)
+        .member("cycles", cycles())
+        .member("cpi", cpi())
+        .member("base_cycles", baseCycles)
+        .member("stall_icache_miss", stallIcacheMiss)
+        .member("stall_expansion", stallExpansion)
+        .member("stall_redirect", stallRedirect);
+    json.key("icache")
+        .beginObject()
+        .member("accesses", icache.accesses)
+        .member("misses", icache.misses)
+        .member("line_fills", icache.lineFills)
+        .member("evictions", icache.evictions)
+        .member("miss_rate", icache.missRate())
+        .endObject();
+    json.endObject();
+    return json.str();
+}
+
+std::vector<uint64_t>
+profileExecutionCounts(const Program &program, uint64_t max_steps)
+{
+    std::vector<uint64_t> counts(program.text.size(), 0);
+    Cpu cpu(program);
+    cpu.setFetchHook([&counts, &program](const FetchEvent &event) {
+        ++counts[program.indexOfAddr(event.addr)];
+    });
+    cpu.run(max_steps);
+    return counts;
+}
+
+} // namespace codecomp::timing

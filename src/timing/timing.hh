@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Cycle-approximate timing model: turns the fetch/retire streams of
+ * both processors into cycles, so compression can be evaluated on the
+ * size-vs-speed plane instead of static size alone (the paper stops at
+ * "Reducing program size is one way to reduce instruction cache misses
+ * and achieve higher performance [Chen97b]"; this subsystem puts a
+ * number on it).
+ *
+ * The model is additive, in-order, and deliberately simple (DESIGN.md
+ * section 9): a front end that retires up to `frontendWidth`
+ * instructions per cycle, an I-cache whose line fills stall the front
+ * end, a dictionary expander that streams entry words at a fixed rate,
+ * and a fixed redirect penalty per taken branch. Cycles decompose
+ * exactly into base + icache-miss + expansion + redirect stalls, so a
+ * TimingReport is both a total and an attribution. Everything is
+ * deterministic: the same image and config produce bit-identical
+ * reports on every run and every build.
+ */
+
+#ifndef CODECOMP_TIMING_TIMING_HH
+#define CODECOMP_TIMING_TIMING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/icache.hh"
+#include "decompress/fetch.hh"
+#include "program/program.hh"
+
+namespace codecomp::timing {
+
+/** Machine parameters of the model; see timingConfigError for the
+ *  validity rules. */
+struct TimingConfig
+{
+    /** Instructions retired per cycle when nothing stalls (1..16). */
+    uint32_t frontendWidth = 1;
+
+    /** I-cache geometry; validated via cache::cacheConfigError. */
+    cache::CacheConfig icache{2048, 32, 1};
+
+    /** Lead-off latency of one line fill, cycles. */
+    uint32_t missPenaltyCycles = 10;
+
+    /** Streaming cost of a fill: cycles per 4-byte word of the line,
+     *  so a fill costs missPenaltyCycles + lineBytes/4 * this. */
+    uint32_t memoryCyclesPerWord = 1;
+
+    /** Dictionary-expansion cost: cycles per expanded word beyond the
+     *  first (the first word issues in the item's own retire slot). */
+    uint32_t expansionCyclesPerWord = 1;
+
+    /** Front-end redirect cost per taken branch, cycles. */
+    uint32_t redirectPenaltyCycles = 2;
+
+    /** Total stall charged per missed line. */
+    uint64_t
+    lineFillCycles() const
+    {
+        return missPenaltyCycles +
+               static_cast<uint64_t>(memoryCyclesPerWord) *
+                   (icache.lineBytes / 4);
+    }
+};
+
+/**
+ * Human-readable reason @p config cannot drive the model, or "" if it
+ * is valid. FetchTimer raises a catchable fatal on a non-empty answer;
+ * CLI front ends (cctime) check it first so the user gets a usage
+ * error, not an abort.
+ */
+std::string timingConfigError(const TimingConfig &config);
+
+/** CC_FATAL (catchable) unless timingConfigError(config) is empty. */
+void validateTimingConfig(const TimingConfig &config);
+
+/** The model's verdict on one run: cycles plus their attribution. */
+struct TimingReport
+{
+    uint64_t instructions = 0; //!< architectural instructions retired
+    uint64_t items = 0;        //!< fetch-unit items consumed
+    uint64_t fetchedBytes = 0; //!< bytes moved by the fetch unit
+
+    uint64_t baseCycles = 0;        //!< ceil(instructions / width)
+    uint64_t stallIcacheMiss = 0;   //!< line-fill stalls
+    uint64_t stallExpansion = 0;    //!< dictionary-expansion stalls
+    uint64_t stallRedirect = 0;     //!< taken-branch redirects
+
+    cache::CacheStats icache;  //!< accesses/misses/fills/evictions
+
+    uint64_t
+    cycles() const
+    {
+        return baseCycles + stallIcacheMiss + stallExpansion +
+               stallRedirect;
+    }
+
+    double
+    cpi() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : static_cast<double>(cycles()) / instructions;
+    }
+
+    /** Serialize every field (support/json); bit-identical for equal
+     *  reports, so determinism tests can compare strings. */
+    std::string toJson() const;
+
+    bool operator==(const TimingReport &) const = default;
+};
+
+/**
+ * Consumes a processor's fetch stream (fetch.hh) and charges cycles.
+ * Wire it up with `cpu.setFetchHook(timer.hook())`, run the program,
+ * then read report(). Native 4-byte fetches and variable-size codeword
+ * items go through the same accounting, so compressed code's density
+ * advantage (fewer line fills) and its expansion cost are both priced.
+ */
+class FetchTimer
+{
+  public:
+    /** Catchable fatal if @p config is invalid (timingConfigError). */
+    explicit FetchTimer(const TimingConfig &config);
+
+    /** Charge one fetch-unit item. */
+    void onFetch(const FetchEvent &event);
+
+    /** A hook bound to this timer, for Cpu/CompressedCpu::setFetchHook.
+     *  The timer must outlive the processor's use of the hook. */
+    FetchHook
+    hook()
+    {
+        return [this](const FetchEvent &event) { onFetch(event); };
+    }
+
+    /** Forget everything, including cache contents. */
+    void reset();
+
+    TimingReport report() const;
+
+    const TimingConfig &config() const { return config_; }
+    const cache::ICache &icache() const { return icache_; }
+
+  private:
+    TimingConfig config_;
+    cache::ICache icache_;
+    uint64_t instructions_ = 0;
+    uint64_t items_ = 0;
+    uint64_t fetchedBytes_ = 0;
+    uint64_t stallIcacheMiss_ = 0;
+    uint64_t stallExpansion_ = 0;
+    uint64_t stallRedirect_ = 0;
+};
+
+/**
+ * Per-instruction execution counts from a profiling run of the plain
+ * processor (index = original instruction index). Feeds the
+ * traffic-weighted selection strategy (compress/strategy.hh).
+ */
+std::vector<uint64_t> profileExecutionCounts(
+    const Program &program, uint64_t max_steps = 1ull << 28);
+
+} // namespace codecomp::timing
+
+#endif // CODECOMP_TIMING_TIMING_HH

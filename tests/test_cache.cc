@@ -109,10 +109,47 @@ TEST(ICache, ResetClearsEverything)
     EXPECT_EQ(cache.stats().misses, 1u); // cold again
 }
 
+TEST(ICache, FillAndEvictionCounters)
+{
+    // Direct-mapped ping-pong: every miss fills a line; every fill
+    // after the set's first displaces a resident line.
+    ICache cache({256, 32, 1});
+    cache.access(0, 4);   // cold fill, no eviction
+    cache.access(256, 4); // fills over line 0: eviction
+    cache.access(0, 4);   // and back: eviction
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().lineFills, 3u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+
+    cache.reset();
+    EXPECT_EQ(cache.stats(), CacheStats{});
+}
+
+TEST(ICache, AccessReportsMissedLineCount)
+{
+    ICache cache({256, 32, 1});
+    EXPECT_EQ(cache.access(30, 4), 2u); // straddle, both lines cold
+    EXPECT_EQ(cache.access(30, 4), 0u); // both resident now
+    EXPECT_EQ(cache.access(64, 4), 1u);
+    EXPECT_TRUE(cache.touch(64));
+    EXPECT_FALSE(cache.touch(96));
+}
+
+// Bad geometries are rejected as catchable fatals (CC_FATAL throws), so
+// tools can report them as usage errors instead of aborting.
 TEST(ICache, RejectsBadGeometry)
 {
-    EXPECT_DEATH(ICache({100, 32, 1}), "sets");
-    EXPECT_DEATH(ICache({256, 24, 1}), "power of two");
+    // capacity not a whole number of sets: numSets() would truncate
+    // 100/32 down to 3 sets and silently model a 96-byte cache.
+    EXPECT_THROW(ICache({100, 32, 1}), std::runtime_error);
+    EXPECT_THROW(ICache({256, 24, 1}), std::runtime_error); // line !pow2
+    EXPECT_THROW(ICache({256, 2, 1}), std::runtime_error);  // line < 4
+    EXPECT_THROW(ICache({256, 32, 0}), std::runtime_error); // no ways
+    EXPECT_THROW(ICache({16, 32, 1}), std::runtime_error); // 0 sets
+    EXPECT_THROW(ICache({96, 32, 1}), std::runtime_error); // 3 sets !pow2
+    EXPECT_NE(cacheConfigError({100, 32, 1}).find("whole number"),
+              std::string::npos);
+    EXPECT_EQ(cacheConfigError({1024, 32, 2}), "");
 }
 
 TEST(FetchHooks, NativeFetchCountMatchesInstCount)
@@ -120,12 +157,17 @@ TEST(FetchHooks, NativeFetchCountMatchesInstCount)
     Program p = workloads::buildBenchmark("compress");
     uint64_t fetches = 0;
     Cpu cpu(p);
-    cpu.setFetchHook([&fetches](uint32_t, uint32_t bytes) {
-        EXPECT_EQ(bytes, 4u);
+    cpu.setFetchHook([&fetches](const FetchEvent &event) {
+        EXPECT_EQ(event.bytes, 4u);
+        EXPECT_EQ(event.retired, 1u);
+        EXPECT_FALSE(event.isCodeword);
         ++fetches;
     });
     ExecResult r = cpu.run();
     EXPECT_EQ(fetches, r.instCount);
+    // The built-in accumulator agrees with the hook's view.
+    EXPECT_EQ(cpu.fetchStats().itemFetches, r.instCount);
+    EXPECT_EQ(cpu.fetchStats().fetchedBytes, r.instCount * 4);
 }
 
 TEST(FetchHooks, CompressedFetchesAreSmallerAndFewerBytes)
@@ -138,15 +180,15 @@ TEST(FetchHooks, CompressedFetchesAreSmallerAndFewerBytes)
 
     uint64_t native_bytes = 0;
     Cpu cpu(p);
-    cpu.setFetchHook([&native_bytes](uint32_t, uint32_t bytes) {
-        native_bytes += bytes;
+    cpu.setFetchHook([&native_bytes](const FetchEvent &event) {
+        native_bytes += event.bytes;
     });
     cpu.run();
 
     uint64_t compressed_bytes = 0;
     CompressedCpu ccpu(image);
-    ccpu.setFetchHook([&compressed_bytes](uint32_t, uint32_t bytes) {
-        compressed_bytes += bytes;
+    ccpu.setFetchHook([&compressed_bytes](const FetchEvent &event) {
+        compressed_bytes += event.bytes;
     });
     ccpu.run();
 
@@ -171,14 +213,15 @@ TEST(FetchHooks, StraddlingCompressedFetchTouchesExactlyTwoLines)
     uint64_t expected_touches = 0;
     uint64_t straddles = 0;
     CompressedCpu cpu(image);
-    cpu.setFetchHook([&](uint32_t addr, uint32_t bytes) {
-        ASSERT_GE(bytes, 1u);
-        ASSERT_LE(bytes, line); // an item never covers three lines
-        uint32_t lines = (addr + bytes - 1) / line - addr / line + 1;
+    cpu.setFetchHook([&](const FetchEvent &event) {
+        ASSERT_GE(event.bytes, 1u);
+        ASSERT_LE(event.bytes, line); // an item never covers three lines
+        uint32_t lines = (event.addr + event.bytes - 1) / line -
+                         event.addr / line + 1;
         ASSERT_LE(lines, 2u);
         straddles += lines == 2;
         expected_touches += lines;
-        cache.access(addr, bytes);
+        cache.access(event.addr, event.bytes);
     });
     cpu.run();
     EXPECT_GT(straddles, 0u);
@@ -196,15 +239,15 @@ TEST(FetchHooks, CompressedCodeMissesLessInSmallCache)
     CacheConfig geometry{2048, 32, 1};
     ICache native(geometry);
     Cpu cpu(p);
-    cpu.setFetchHook([&native](uint32_t addr, uint32_t bytes) {
-        native.access(addr, bytes);
+    cpu.setFetchHook([&native](const FetchEvent &event) {
+        native.access(event.addr, event.bytes);
     });
     cpu.run();
 
     ICache compressed(geometry);
     CompressedCpu ccpu(image);
-    ccpu.setFetchHook([&compressed](uint32_t addr, uint32_t bytes) {
-        compressed.access(addr, bytes);
+    ccpu.setFetchHook([&compressed](const FetchEvent &event) {
+        compressed.access(event.addr, event.bytes);
     });
     ccpu.run();
 

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the cycle-approximate timing model (src/timing): config
+ * validation, exact stall arithmetic over synthetic fetch streams,
+ * bit-identical determinism across repeated runs and across
+ * differently-parallelized builds of the same image, golden cycle
+ * counts on two workloads, and the directed density property (a denser
+ * image never misses more in the capacity-limited geometry).
+ *
+ * Every test name carries the Timing prefix: the `timing` ctest label
+ * (tests/CMakeLists.txt) and test preset select on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/compressor.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "support/thread_pool.hh"
+#include "timing/timing.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::timing;
+
+namespace {
+
+TimingConfig
+testModel()
+{
+    TimingConfig config;
+    config.frontendWidth = 1;
+    config.icache = {2048, 32, 1};
+    config.missPenaltyCycles = 10;
+    config.memoryCyclesPerWord = 1;  // fill = 10 + 32/4 = 18 cycles
+    config.expansionCyclesPerWord = 1;
+    config.redirectPenaltyCycles = 2;
+    return config;
+}
+
+TEST(TimingConfig, ValidationRejectsBadModels)
+{
+    TimingConfig config = testModel();
+    EXPECT_EQ(timingConfigError(config), "");
+
+    config.frontendWidth = 0;
+    EXPECT_NE(timingConfigError(config), "");
+    EXPECT_THROW(FetchTimer{config}, std::runtime_error);
+
+    config = testModel();
+    config.frontendWidth = 17;
+    EXPECT_THROW(FetchTimer{config}, std::runtime_error);
+
+    // Cache errors surface through the timing validator, prefixed.
+    config = testModel();
+    config.icache = {100, 32, 1};
+    EXPECT_NE(timingConfigError(config).find("icache:"),
+              std::string::npos);
+    EXPECT_THROW(FetchTimer{config}, std::runtime_error);
+
+    config = testModel();
+    config.missPenaltyCycles = 100000;
+    EXPECT_THROW(FetchTimer{config}, std::runtime_error);
+}
+
+TEST(TimingFetchTimer, ChargesExactCycles)
+{
+    TimingConfig config = testModel();
+    config.frontendWidth = 2;
+    FetchTimer timer(config);
+
+    // Cold 4-byte fetch: one line fill (18 cycles), one instruction.
+    timer.onFetch({0, 4, 1, false, false});
+    // Hit in the same line: no stall.
+    timer.onFetch({4, 4, 1, false, false});
+    // Straddling codeword expanding 3 instructions, taken branch at the
+    // end: second line is cold (one more fill), expansion charges
+    // 2 extra words, redirect charges 2.
+    timer.onFetch({30, 4, 3, true, true});
+
+    TimingReport report = timer.report();
+    EXPECT_EQ(report.instructions, 5u);
+    EXPECT_EQ(report.items, 3u);
+    EXPECT_EQ(report.fetchedBytes, 12u);
+    EXPECT_EQ(report.baseCycles, 3u); // ceil(5 / width 2)
+    EXPECT_EQ(report.stallIcacheMiss, 2u * 18u);
+    EXPECT_EQ(report.stallExpansion, 2u);
+    EXPECT_EQ(report.stallRedirect, 2u);
+    EXPECT_EQ(report.cycles(), 3u + 36u + 2u + 2u);
+    EXPECT_EQ(report.icache.accesses, 4u); // straddle counts twice
+    EXPECT_EQ(report.icache.misses, 2u);
+    EXPECT_DOUBLE_EQ(report.cpi(), static_cast<double>(43) / 5);
+
+    // reset() forgets cache contents too: the same stream recharges.
+    timer.reset();
+    timer.onFetch({0, 4, 1, false, false});
+    EXPECT_EQ(timer.report().stallIcacheMiss, 18u);
+}
+
+TEST(TimingReport, JsonCarriesEveryField)
+{
+    FetchTimer timer(testModel());
+    timer.onFetch({0, 4, 1, false, false});
+    std::string json = timer.report().toJson();
+    for (const char *field :
+         {"\"instructions\"", "\"items\"", "\"fetched_bytes\"",
+          "\"cycles\"", "\"cpi\"", "\"base_cycles\"",
+          "\"stall_icache_miss\"", "\"stall_expansion\"",
+          "\"stall_redirect\"", "\"accesses\"", "\"misses\"",
+          "\"line_fills\"", "\"evictions\"", "\"miss_rate\""})
+        EXPECT_NE(json.find(field), std::string::npos) << field;
+}
+
+/** Time one full run of @p image under the test model. */
+TimingReport
+timeImage(const compress::CompressedImage &image)
+{
+    FetchTimer timer(testModel());
+    CompressedCpu cpu(image);
+    cpu.setFetchHook(timer.hook());
+    cpu.run();
+    return timer.report();
+}
+
+TimingReport
+timeNative(const Program &program)
+{
+    FetchTimer timer(testModel());
+    Cpu cpu(program);
+    cpu.setFetchHook(timer.hook());
+    cpu.run();
+    return timer.report();
+}
+
+TEST(TimingDeterminism, RepeatedRunsAndJobCountsAgree)
+{
+    Program p = workloads::buildBenchmark("compress");
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+
+    setGlobalJobs(1);
+    compress::CompressedImage serial = compress::compressProgram(p, config);
+    setGlobalJobs(4);
+    compress::CompressedImage parallel =
+        compress::compressProgram(p, config);
+
+    TimingReport first = timeImage(serial);
+    TimingReport again = timeImage(serial);
+    TimingReport acrossJobs = timeImage(parallel);
+
+    // Bit-identical across repeated runs and across --jobs-built
+    // images, as both the report and its serialization.
+    EXPECT_EQ(first, again);
+    EXPECT_EQ(first, acrossJobs);
+    EXPECT_EQ(first.toJson(), acrossJobs.toJson());
+
+    TimingReport native = timeNative(p);
+    EXPECT_EQ(native, timeNative(p));
+    // Same architectural work on both processors (lockstep invariant).
+    EXPECT_EQ(native.instructions, first.instructions);
+}
+
+/**
+ * Golden cycle counts. These pin the whole chain -- workload codegen,
+ * compression, execution, and the timing arithmetic -- to exact values
+ * under the fixed test model; any drift is a deliberate change to one
+ * of those layers and must update the goldens with it (DESIGN.md
+ * section 9.4).
+ */
+TEST(TimingGolden, CompressWorkloadCycleCounts)
+{
+    Program p = workloads::buildBenchmark("compress");
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+    TimingReport native = timeNative(p);
+    TimingReport compressed = timeImage(compress::compressProgram(p, config));
+    EXPECT_EQ(native.cycles(), 451332u);
+    EXPECT_EQ(compressed.cycles(), 449633u);
+}
+
+TEST(TimingGolden, LiWorkloadCycleCounts)
+{
+    Program p = workloads::buildBenchmark("li");
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+    TimingReport native = timeNative(p);
+    TimingReport compressed = timeImage(compress::compressProgram(p, config));
+    // Here the instrument reads the other way: li's native working set
+    // fits the 2KB cache, so expansion and redirect stalls are not paid
+    // back by miss savings. Density helps exactly when capacity binds.
+    EXPECT_EQ(native.cycles(), 495147u);
+    EXPECT_EQ(compressed.cycles(), 576385u);
+}
+
+TEST(TimingDensity, DenserImageMissesNoMoreWhenCapacityLimited)
+{
+    // The directed form of the paper's motivation: in the
+    // capacity-limited geometry, the denser image's fetch stream can
+    // not miss more than the native one.
+    Program p = workloads::buildBenchmark("go");
+    compress::CompressorConfig config;
+    config.scheme = compress::Scheme::Nibble;
+    config.maxEntries = 4680;
+    compress::CompressedImage image = compress::compressProgram(p, config);
+
+    TimingReport native = timeNative(p);
+    TimingReport compressed = timeImage(image);
+    EXPECT_LE(compressed.icache.misses, native.icache.misses);
+    EXPECT_LT(compressed.fetchedBytes, native.fetchedBytes);
+}
+
+} // namespace

@@ -7,6 +7,10 @@
  *   ccrun prog.ccp [--max-steps N] [--stats]
  *   ccrun prog.cci [--max-steps N] [--stats]
  *
+ * --stats prints a human-readable line and a machine-readable
+ * "CCRUN_JSON: {...}" line (same fields) to stderr, keeping stdout
+ * byte-identical to the simulated program's output.
+ *
  * Exit status: the simulated program's exit code on a clean run;
  * otherwise the contract in tool_common.hh (1 bad input, 2 machine
  * check during execution, 3 internal panic).
@@ -18,6 +22,7 @@
 #include "compress/objfile.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
+#include "support/json.hh"
 #include "support/serialize.hh"
 #include "tool_common.hh"
 
@@ -40,6 +45,25 @@ hasMagic(const std::vector<uint8_t> &bytes, const char *magic)
     return bytes.size() >= 4 && bytes[0] == magic[0] &&
            bytes[1] == magic[1] && bytes[2] == magic[2] &&
            bytes[3] == magic[3];
+}
+
+/** The --stats fields, machine-readable (support/json). */
+std::string
+statsJson(const char *kind, const ExecResult &result,
+          const FetchStats &fetch)
+{
+    JsonWriter json;
+    json.beginObject()
+        .member("kind", kind)
+        .member("instructions", result.instCount)
+        .member("item_fetches", fetch.itemFetches)
+        .member("codeword_fetches", fetch.codewordFetches)
+        .member("expanded_insts", fetch.expandedInsts)
+        .member("fetched_bytes", fetch.fetchedBytes)
+        .member("taken_branches", fetch.takenBranches)
+        .member("exit_code", result.exitCode)
+        .endObject();
+    return json.str();
 }
 
 int
@@ -67,12 +91,17 @@ run(int argc, char **argv)
     std::vector<uint8_t> bytes = readFile(input);
     if (hasMagic(bytes, "CCPR")) {
         Program program = loadProgram(bytes);
-        ExecResult result = runProgram(program, max_steps);
+        Cpu cpu(program);
+        ExecResult result = cpu.run(max_steps);
         std::fputs(result.output.c_str(), stdout);
-        if (stats)
+        if (stats) {
             std::fprintf(stderr, "ccrun: %llu instructions, exit %d\n",
                          static_cast<unsigned long long>(result.instCount),
                          result.exitCode);
+            std::fprintf(stderr, "CCRUN_JSON: %s\n",
+                         statsJson("ccp", result, cpu.fetchStats())
+                             .c_str());
+        }
         return result.exitCode & 0xff;
     }
     if (hasMagic(bytes, "CCIM")) {
@@ -91,6 +120,8 @@ run(int argc, char **argv)
                 static_cast<unsigned long long>(fetch.codewordFetches),
                 static_cast<unsigned long long>(fetch.expandedInsts),
                 result.exitCode);
+            std::fprintf(stderr, "CCRUN_JSON: %s\n",
+                         statsJson("cci", result, fetch).c_str());
         }
         return result.exitCode & 0xff;
     }

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * cctime -- the size-vs-speed instrument: run a native .ccp program and
+ * its compressed .cci image through the cycle-approximate timing model
+ * (src/timing) and print the two verdicts side by side.
+ *
+ *   cctime prog.ccp prog.cci [--width N] [--icache CAP:LINE:WAYS]
+ *          [--miss-penalty N] [--mem-cycles N] [--expand-cycles N]
+ *          [--redirect-penalty N] [--max-steps N] [--json <file>]
+ *
+ * The two runs must produce identical program output and exit code
+ * (they are the same program); a mismatch is reported as a verification
+ * finding (exit 2). Bad flags and malformed inputs exit 1, per the
+ * contract in tool_common.hh. --json writes both TimingReports plus the
+ * config through support/json.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "compress/objfile.hh"
+#include "decompress/compressed_cpu.hh"
+#include "decompress/cpu.hh"
+#include "support/json.hh"
+#include "support/serialize.hh"
+#include "timing/timing.hh"
+#include "tool_common.hh"
+
+using namespace codecomp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cctime <prog.ccp> <prog.cci> [--width N] "
+        "[--icache CAP:LINE:WAYS] [--miss-penalty N] [--mem-cycles N] "
+        "[--expand-cycles N] [--redirect-penalty N] [--max-steps N] "
+        "[--json <file>]\n");
+    return tools::exitUserError;
+}
+
+/** Parse "CAP:LINE:WAYS" (e.g. 2048:32:2); false on malformed input. */
+bool
+parseCacheSpec(const std::string &spec, cache::CacheConfig &config)
+{
+    unsigned cap = 0, line = 0, ways = 0;
+    char tail = 0;
+    if (std::sscanf(spec.c_str(), "%u:%u:%u%c", &cap, &line, &ways,
+                    &tail) != 3)
+        return false;
+    config = {cap, line, ways};
+    return true;
+}
+
+void
+printReport(const char *label, const timing::TimingReport &report)
+{
+    std::printf("%-10s %12llu cycles  CPI %5.3f  (%llu insts, "
+                "%llu fetched bytes)\n",
+                label,
+                static_cast<unsigned long long>(report.cycles()),
+                report.cpi(),
+                static_cast<unsigned long long>(report.instructions),
+                static_cast<unsigned long long>(report.fetchedBytes));
+    std::printf("           stalls: icache-miss %llu, expansion %llu, "
+                "redirect %llu; icache %llu/%llu miss (%.2f%%), "
+                "%llu evictions\n",
+                static_cast<unsigned long long>(report.stallIcacheMiss),
+                static_cast<unsigned long long>(report.stallExpansion),
+                static_cast<unsigned long long>(report.stallRedirect),
+                static_cast<unsigned long long>(report.icache.misses),
+                static_cast<unsigned long long>(report.icache.accesses),
+                report.icache.missRate() * 100,
+                static_cast<unsigned long long>(report.icache.evictions));
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string programPath, imagePath, jsonPath;
+    timing::TimingConfig config;
+    uint64_t max_steps = 1ull << 28;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--width" && i + 1 < argc) {
+            config.frontendWidth =
+                static_cast<uint32_t>(std::atol(argv[++i]));
+        } else if (arg == "--icache" && i + 1 < argc) {
+            if (!parseCacheSpec(argv[++i], config.icache)) {
+                std::fprintf(stderr,
+                             "cctime: --icache wants CAP:LINE:WAYS "
+                             "(e.g. 2048:32:2)\n");
+                return tools::exitUserError;
+            }
+        } else if (arg == "--miss-penalty" && i + 1 < argc) {
+            config.missPenaltyCycles =
+                static_cast<uint32_t>(std::atol(argv[++i]));
+        } else if (arg == "--mem-cycles" && i + 1 < argc) {
+            config.memoryCyclesPerWord =
+                static_cast<uint32_t>(std::atol(argv[++i]));
+        } else if (arg == "--expand-cycles" && i + 1 < argc) {
+            config.expansionCyclesPerWord =
+                static_cast<uint32_t>(std::atol(argv[++i]));
+        } else if (arg == "--redirect-penalty" && i + 1 < argc) {
+            config.redirectPenaltyCycles =
+                static_cast<uint32_t>(std::atol(argv[++i]));
+        } else if (arg == "--max-steps" && i + 1 < argc) {
+            max_steps = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (!arg.empty() && arg[0] != '-') {
+            if (programPath.empty())
+                programPath = arg;
+            else if (imagePath.empty())
+                imagePath = arg;
+            else
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+    if (programPath.empty() || imagePath.empty())
+        return usage();
+    // Reject a bad model up front as a usage error with the reason,
+    // rather than letting FetchTimer's catchable fatal surface raw.
+    std::string config_error = timing::timingConfigError(config);
+    if (!config_error.empty()) {
+        std::fprintf(stderr, "cctime: %s\n", config_error.c_str());
+        return tools::exitUserError;
+    }
+
+    Program program = loadProgram(readFile(programPath));
+    compress::CompressedImage image = loadImage(readFile(imagePath));
+
+    timing::FetchTimer nativeTimer(config);
+    Cpu cpu(program);
+    cpu.setFetchHook(nativeTimer.hook());
+    ExecResult nativeResult = cpu.run(max_steps);
+
+    timing::FetchTimer compressedTimer(config);
+    CompressedCpu ccpu(image);
+    ccpu.setFetchHook(compressedTimer.hook());
+    ExecResult compressedResult = ccpu.run(max_steps);
+
+    if (nativeResult.output != compressedResult.output ||
+        nativeResult.exitCode != compressedResult.exitCode) {
+        std::fprintf(stderr,
+                     "cctime: native and compressed runs diverge "
+                     "(exit %d vs %d, %zu vs %zu output bytes)\n",
+                     nativeResult.exitCode, compressedResult.exitCode,
+                     nativeResult.output.size(),
+                     compressedResult.output.size());
+        return tools::exitFinding;
+    }
+
+    timing::TimingReport native = nativeTimer.report();
+    timing::TimingReport compressed = compressedTimer.report();
+
+    std::printf("model: width %u, icache %u:%u:%u, fill %llu cycles, "
+                "expand %u/word, redirect %u\n",
+                config.frontendWidth, config.icache.capacityBytes,
+                config.icache.lineBytes, config.icache.ways,
+                static_cast<unsigned long long>(config.lineFillCycles()),
+                config.expansionCyclesPerWord,
+                config.redirectPenaltyCycles);
+    printReport("native", native);
+    printReport("compressed", compressed);
+    double speedup = compressed.cycles() == 0
+                         ? 0.0
+                         : static_cast<double>(native.cycles()) /
+                               static_cast<double>(compressed.cycles());
+    std::printf("compressed/native cycles: %.4f (speedup %.3fx)\n",
+                speedup == 0.0 ? 0.0 : 1.0 / speedup, speedup);
+
+    if (!jsonPath.empty()) {
+        JsonWriter json;
+        json.beginObject()
+            .member("width", config.frontendWidth)
+            .member("icache_capacity", config.icache.capacityBytes)
+            .member("icache_line", config.icache.lineBytes)
+            .member("icache_ways", config.icache.ways)
+            .member("miss_penalty", config.missPenaltyCycles)
+            .member("mem_cycles_per_word", config.memoryCyclesPerWord)
+            .member("expand_cycles_per_word", config.expansionCyclesPerWord)
+            .member("redirect_penalty", config.redirectPenaltyCycles)
+            .endObject();
+        // TimingReport::toJson returns complete objects; compose the
+        // document from the closed pieces.
+        char ratio[32];
+        std::snprintf(ratio, sizeof(ratio), "%.6f",
+                      speedup == 0.0 ? 0.0 : 1.0 / speedup);
+        std::string doc = "{\"config\":" + json.str() +
+                          ",\"native\":" + native.toJson() +
+                          ",\"compressed\":" + compressed.toJson() +
+                          ",\"cycle_ratio\":" + ratio + "}\n";
+        writeFile(jsonPath,
+                  std::vector<uint8_t>(doc.begin(), doc.end()));
+    }
+    return tools::exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("cctime", [&] { return run(argc, argv); });
+}
