@@ -74,20 +74,30 @@ void
 BM_StreamDecode(benchmark::State &state)
 {
     // The decompression engine's sequential scan: the per-item decode
-    // rule a hardware fetch stage applies.
+    // rule a hardware fetch stage applies. Arg(1) selects the decode
+    // path: 0 = fast table-driven window scan, 1 = reference
+    // nibble-at-a-time decoder.
     CompressorConfig config;
     config.scheme = static_cast<Scheme>(state.range(0));
     config.maxEntries = 8192;
+    DecodePath path = state.range(1) == 0 ? DecodePath::Fast
+                                          : DecodePath::Reference;
     CompressedImage image = compressProgram(ijpeg(), config);
     for (auto _ : state) {
-        DecompressionEngine engine(image);
+        DecompressionEngine engine(image, path);
         benchmark::DoNotOptimize(engine.items().size());
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                             static_cast<int64_t>(
                                 image.compressedTextBytes()));
 }
-BENCHMARK(BM_StreamDecode)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_StreamDecode)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1});
 
 void
 BM_FetchExpand(benchmark::State &state)
@@ -358,6 +368,106 @@ reportItemLookup()
 }
 
 void
+reportDecodeScan()
+{
+    // PERF_JSON line pinning the tentpole: the table-driven window
+    // scan vs the reference nibble-at-a-time decoder, same image (the
+    // golden-checksum suite proves they produce identical items).
+    CompressorConfig config;
+    config.scheme = Scheme::Nibble;
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+
+    constexpr int rounds = 50;
+    auto time_ms_per_scan = [&image](DecodePath path) {
+        DecompressionEngine warm(image, path); // warm allocator/caches
+        benchmark::DoNotOptimize(warm.items().size());
+        auto start = std::chrono::steady_clock::now();
+        size_t items = 0;
+        for (int r = 0; r < rounds; ++r) {
+            DecompressionEngine engine(image, path);
+            items = engine.items().size();
+            benchmark::DoNotOptimize(items);
+        }
+        auto end = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(end - start)
+                   .count() /
+               rounds;
+    };
+    double fast_ms = time_ms_per_scan(DecodePath::Fast);
+    double reference_ms = time_ms_per_scan(DecodePath::Reference);
+    size_t items = DecompressionEngine(image).items().size();
+    std::printf("stream decode scan (ijpeg nibble, %zu items): "
+                "fast %.3f ms, reference %.3f ms, speedup %.2fx\n",
+                items, fast_ms, reference_ms, reference_ms / fast_ms);
+    std::printf("PERF_JSON: {\"bench\":\"decode_scan\","
+                "\"scheme\":\"nibble\",\"items\":%zu,"
+                "\"fast_ms\":%.4f,\"reference_ms\":%.4f,"
+                "\"speedup\":%.3f}\n",
+                items, fast_ms, reference_ms, reference_ms / fast_ms);
+}
+
+void
+reportExpandCache()
+{
+    // PERF_JSON line for the pre-decoded entry cache: expanding every
+    // codeword in the stream through decodedEntry() (a cache walk) vs
+    // re-running isa::decode per slot (what step() used to do).
+    CompressorConfig config;
+    config.scheme = Scheme::Nibble;
+    config.maxEntries = 8192;
+    CompressedImage image = compressProgram(ijpeg(), config);
+    DecompressionEngine engine(image);
+    std::vector<uint32_t> ranks;
+    for (const DecodedItem &item : engine.items())
+        if (item.isCodeword)
+            ranks.push_back(item.rank);
+
+    constexpr int rounds = 200;
+    size_t insns = 0;
+    auto time_ns_per_inst = [&](auto &&expand) {
+        uint64_t sink = 0;
+        insns = 0;
+        for (uint32_t rank : ranks) // warm, and count the slots
+            insns += expand(rank, sink);
+        auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < rounds; ++r)
+            for (uint32_t rank : ranks)
+                expand(rank, sink);
+        auto end = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(sink);
+        return std::chrono::duration<double, std::nano>(end - start)
+                   .count() /
+               (static_cast<double>(rounds) * insns);
+    };
+    double cached_ns =
+        time_ns_per_inst([&engine](uint32_t rank, uint64_t &sink) {
+            DecodedEntry entry = engine.decodedEntry(rank);
+            for (const isa::Inst &inst : entry)
+                sink += static_cast<uint64_t>(inst.op);
+            return entry.size();
+        });
+    double decode_ns =
+        time_ns_per_inst([&engine](uint32_t rank, uint64_t &sink) {
+            const std::vector<isa::Word> &entry = engine.entry(rank);
+            for (isa::Word word : entry)
+                sink += static_cast<uint64_t>(isa::decode(word).op);
+            return entry.size();
+        });
+    std::printf("codeword expansion (%zu codewords, %zu insts): "
+                "cached %.2f ns/inst, isa::decode %.2f ns/inst, "
+                "speedup %.2fx\n",
+                ranks.size(), insns, cached_ns, decode_ns,
+                decode_ns / cached_ns);
+    std::printf("PERF_JSON: {\"bench\":\"expand_cache\","
+                "\"codewords\":%zu,\"insts\":%zu,"
+                "\"cached_ns\":%.3f,\"decode_ns\":%.3f,"
+                "\"speedup\":%.3f}\n",
+                ranks.size(), insns, cached_ns, decode_ns,
+                decode_ns / cached_ns);
+}
+
+void
 reportPassTimings()
 {
     // Per-pass wall time through the pipeline: where a compression run
@@ -394,6 +504,8 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     reportItemLookup();
+    reportDecodeScan();
+    reportExpandCache();
     reportPassTimings();
     reportSuiteSpeedup();
     return 0;

@@ -15,8 +15,13 @@ constexpr unsigned maxWidth = 16;
 constexpr uint32_t firstFree = 256;
 constexpr uint32_t maxCodes = 1u << maxWidth;
 
-/** compress(1)-style 3-byte header: magic + max-bits flag. */
+/** compress(1)-style magic + max-bits flag; a fourth header byte
+ *  carries the number of zero pad bits in the final payload byte, so
+ *  the decompressor works from the exact bit count instead of assuming
+ *  a byte-multiple stream (the same phantom-pad class of bug the
+ *  NibbleReader and BitReader byte-vector constructors had). */
 const uint8_t header[3] = {0x1f, 0x9d, 0x90};
+constexpr size_t headerBytes = 4;
 
 } // namespace
 
@@ -24,6 +29,7 @@ std::vector<uint8_t>
 lzwCompress(const std::vector<uint8_t> &input)
 {
     std::vector<uint8_t> out(header, header + 3);
+    out.push_back(0); // pad-bit count, patched after encoding
     if (input.empty())
         return out;
 
@@ -51,6 +57,7 @@ lzwCompress(const std::vector<uint8_t> &input)
     }
     writer.putBits(w, width);
 
+    out[3] = static_cast<uint8_t>((8 - writer.bitCount() % 8) % 8);
     out.insert(out.end(), writer.bytes().begin(), writer.bytes().end());
     return out;
 }
@@ -58,19 +65,25 @@ lzwCompress(const std::vector<uint8_t> &input)
 std::vector<uint8_t>
 lzwDecompress(const std::vector<uint8_t> &compressed)
 {
-    CC_ASSERT(compressed.size() >= 3 && compressed[0] == header[0] &&
+    CC_ASSERT(compressed.size() >= headerBytes &&
+                  compressed[0] == header[0] &&
                   compressed[1] == header[1],
               "bad LZW header");
+    uint8_t pad_bits = compressed[3];
+    CC_ASSERT(pad_bits < 8, "bad LZW pad-bit count");
     std::vector<uint8_t> out;
-    if (compressed.size() == 3)
+    if (compressed.size() == headerBytes) {
+        CC_ASSERT(pad_bits == 0, "padded empty LZW stream");
         return out;
+    }
 
     std::vector<std::string> table(256);
     for (unsigned s = 0; s < 256; ++s)
         table[s] = std::string(1, static_cast<char>(s));
     table.reserve(maxCodes);
 
-    BitReader reader(compressed.data() + 3, (compressed.size() - 3) * 8);
+    BitReader reader(compressed.data() + headerBytes,
+                     (compressed.size() - headerBytes) * 8 - pad_bits);
     uint32_t next = firstFree;
     unsigned width = minWidth;
 
@@ -88,8 +101,13 @@ lzwDecompress(const std::vector<uint8_t> &compressed)
             if (next == (1u << width) && width < maxWidth)
                 ++width;
         }
-        if (reader.size() - reader.pos() < width)
-            break; // only byte padding (< 9 bits) remains
+        // The bit count is exact (header pad byte), so the stream ends
+        // precisely after the final code -- a short remainder is
+        // corruption, not padding.
+        if (reader.atEnd())
+            break;
+        CC_ASSERT(reader.size() - reader.pos() >= width,
+                  "truncated LZW stream");
         uint32_t code = reader.getBits(width);
         std::string str;
         if (pending >= 0 && code == static_cast<uint32_t>(pending)) {

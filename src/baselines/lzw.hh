@@ -6,8 +6,10 @@
  * Codes grow from 9 to 16 bits; when the dictionary fills it is frozen
  * (compress(1) additionally resets on degradation in block mode; our
  * inputs are far smaller than the 65536-entry table, so the reset path
- * never triggers and is omitted). A 3-byte header mirrors compress(1)'s
- * magic + flags overhead.
+ * never triggers and is omitted). A 4-byte header mirrors compress(1)'s
+ * magic + flags overhead and adds a pad-bit count, so the bit stream's
+ * exact length survives byte packing and decompression never reads
+ * phantom pad bits.
  */
 
 #ifndef CODECOMP_BASELINES_LZW_HH

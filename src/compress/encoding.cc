@@ -68,7 +68,74 @@ escapeGroup(uint8_t byte)
     return static_cast<uint32_t>(group);
 }
 
+/** Nibble scheme: the first nibble alone classifies the item
+ *  (Figure 10); entries 16..255 are unreachable (a 1-nibble prefix
+ *  can only index 0..15). */
+constexpr DecodeTables
+buildNibbleTables()
+{
+    DecodeTables tables{};
+    tables.prefixNibbles = 1;
+    for (uint32_t n0 = 0; n0 < 16; ++n0) {
+        ItemClass &cls = tables.classes[n0];
+        if (n0 < 8) {
+            cls = {1, 1, 0, 0, n0};
+        } else if (n0 < 12) {
+            cls = {2, 1, 1, 0, nib4Count + (n0 - 8) * 16};
+        } else if (n0 < 14) {
+            cls = {3, 1, 2, 0, nib4Count + nib8Count + (n0 - 12) * 256};
+        } else if (n0 == 14) {
+            cls = {4, 1, 3, 0, nib4Count + nib8Count + nib12Count};
+        } else {
+            // Escape: the nibble is consumed, an 8-nibble instruction
+            // follows (no rewind -- decodeCodeword eats the escape).
+            cls = {9, 0, 0, 0, 0};
+        }
+    }
+    return tables;
+}
+
+/** Baseline / OneByte: the first byte classifies -- an illegal primary
+ *  opcode marks a codeword, any legal byte begins a plain instruction
+ *  (which decodeCodeword pushes back whole, hence the 2-nibble
+ *  rewind). */
+constexpr DecodeTables
+buildByteEscapeTables(bool baseline)
+{
+    DecodeTables tables{};
+    tables.prefixNibbles = 2;
+    for (uint32_t byte = 0; byte < 256; ++byte) {
+        ItemClass &cls = tables.classes[byte];
+        int8_t group = escapeGroupTable[byte];
+        if (group < 0)
+            cls = {8, 0, 0, 2, 0};
+        else if (baseline)
+            cls = {4, 1, 2, 0, static_cast<uint32_t>(group) * 256};
+        else
+            cls = {2, 1, 0, 0, static_cast<uint32_t>(group)};
+    }
+    return tables;
+}
+
+constexpr DecodeTables nibbleTables = buildNibbleTables();
+constexpr DecodeTables baselineTables = buildByteEscapeTables(true);
+constexpr DecodeTables oneByteTables = buildByteEscapeTables(false);
+
 } // namespace
+
+const DecodeTables &
+decodeTables(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return baselineTables;
+      case Scheme::OneByte:
+        return oneByteTables;
+      case Scheme::Nibble:
+        return nibbleTables;
+    }
+    CC_PANIC("bad scheme");
+}
 
 SchemeParams
 schemeParams(Scheme scheme)
@@ -165,6 +232,35 @@ emitInstruction(NibbleWriter &writer, Scheme scheme, uint32_t word)
 std::optional<uint32_t>
 decodeCodeword(NibbleReader &reader, Scheme scheme)
 {
+    const DecodeTables &tables = decodeTables(scheme);
+    const ItemClass &cls =
+        tables.classes[reader.getNibbles(tables.prefixNibbles)];
+    if (!cls.isCodeword) {
+        reader.seek(reader.pos() - cls.rewindNibbles);
+        return std::nullopt;
+    }
+    uint32_t index =
+        cls.indexNibbles ? reader.getNibbles(cls.indexNibbles) : 0;
+    return cls.rankBase + index;
+}
+
+std::optional<unsigned>
+peekItemNibbles(NibbleReader reader, Scheme scheme)
+{
+    const DecodeTables &tables = decodeTables(scheme);
+    size_t remaining = reader.size() - reader.pos();
+    if (remaining < tables.prefixNibbles)
+        return std::nullopt;
+    const ItemClass &cls =
+        tables.classes[reader.getNibbles(tables.prefixNibbles)];
+    if (cls.nibbles > remaining)
+        return std::nullopt;
+    return cls.nibbles;
+}
+
+std::optional<uint32_t>
+referenceDecodeCodeword(NibbleReader &reader, Scheme scheme)
+{
     switch (scheme) {
       case Scheme::Baseline: {
         uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
@@ -204,7 +300,7 @@ decodeCodeword(NibbleReader &reader, Scheme scheme)
 }
 
 std::optional<unsigned>
-peekItemNibbles(NibbleReader reader, Scheme scheme)
+referencePeekItemNibbles(NibbleReader reader, Scheme scheme)
 {
     size_t remaining = reader.size() - reader.pos();
     auto fits = [&](unsigned need) -> std::optional<unsigned> {

@@ -26,6 +26,7 @@
 #ifndef CODECOMP_COMPRESS_ENCODING_HH
 #define CODECOMP_COMPRESS_ENCODING_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
@@ -60,11 +61,41 @@ void emitCodeword(NibbleWriter &writer, Scheme scheme, uint32_t rank);
 void emitInstruction(NibbleWriter &writer, Scheme scheme, uint32_t word);
 
 /**
+ * Classification of one stream item by its leading prefix nibbles.
+ * Every decode decision of a scheme -- item length, codeword vs raw
+ * instruction, and where the rank index sits -- is a pure function of
+ * the first prefixNibbles of the item, so it can be precomputed into a
+ * 256-entry table and the decoder reduced to one indexed load plus
+ * shift/mask field extraction (DESIGN.md section 10).
+ */
+struct ItemClass
+{
+    uint8_t nibbles;       //!< total item length, escape included
+    uint8_t isCodeword;    //!< 1 = codeword, 0 = uncompressed inst
+    uint8_t indexNibbles;  //!< rank-index nibbles after the prefix
+    uint8_t rewindNibbles; //!< nibbles to push back for non-codewords
+    uint32_t rankBase;     //!< rank = rankBase + index
+};
+
+/** Per-scheme decode tables: the item class for every possible value
+ *  of the leading prefix (one nibble under Nibble, one byte under
+ *  Baseline/OneByte; single-nibble prefixes use entries 0..15). */
+struct DecodeTables
+{
+    unsigned prefixNibbles;
+    std::array<ItemClass, 256> classes;
+};
+
+/** The precomputed (constexpr) decode tables for @p scheme. */
+const DecodeTables &decodeTables(Scheme scheme);
+
+/**
  * Decode the item at the reader's cursor: a codeword rank, or
  * std::nullopt for an uncompressed instruction (whose 32-bit word is
  * then read with reader.getWord()). Mirrors the hardware decode rule:
  * under Baseline/OneByte an illegal primary opcode in the first byte
  * marks a codeword; under Nibble the first nibble classifies.
+ * Table-driven; referenceDecodeCodeword is the checkable original.
  */
 std::optional<uint32_t> decodeCodeword(NibbleReader &reader, Scheme scheme);
 
@@ -76,6 +107,17 @@ std::optional<uint32_t> decodeCodeword(NibbleReader &reader, Scheme scheme);
  * before decodeCodeword would read off the end.
  */
 std::optional<unsigned> peekItemNibbles(NibbleReader reader, Scheme scheme);
+
+/**
+ * The original cascaded-branch decoders, kept verbatim as the reference
+ * the table-driven fast path is verified against (golden-checksum
+ * suite, DecodePath::Reference engine scans). Semantically identical to
+ * decodeCodeword / peekItemNibbles by contract.
+ */
+std::optional<uint32_t> referenceDecodeCodeword(NibbleReader &reader,
+                                                Scheme scheme);
+std::optional<unsigned> referencePeekItemNibbles(NibbleReader reader,
+                                                 Scheme scheme);
 
 const char *schemeName(Scheme scheme);
 

@@ -12,6 +12,32 @@ CompressedCpu::CompressedCpu(const compress::CompressedImage &image)
     machine_.loadImage(image.dataBase, image.data);
 }
 
+/**
+ * A taken indirect branch must land on an item boundary of the
+ * compressed text. Validating here attributes a corrupt LR/CTR to the
+ * branch that consumed it -- matching the plain Cpu's
+ * check-at-the-branch behaviour -- instead of to the next fetch, where
+ * the faulting PC no longer names the culprit.
+ */
+void
+CompressedCpu::checkIndirectTarget(uint32_t target, const char *reg) const
+{
+    uint32_t base = compress::CompressedImage::nibbleBase;
+    if (target < base)
+        throw MachineCheckError(MachineFault::FetchOutOfText, target,
+                                std::string(reg) +
+                                    " as indirect branch target below "
+                                    "compressed text");
+    try {
+        engine_.itemIndexAt(target - base);
+    } catch (const MachineCheckError &e) {
+        throw MachineCheckError(e.fault(), target,
+                                std::string(reg) +
+                                    " as indirect branch target: " +
+                                    e.what());
+    }
+}
+
 void
 CompressedCpu::execBranch(const isa::Inst &inst, uint32_t next_pc,
                           uint32_t self_pc)
@@ -30,10 +56,14 @@ CompressedCpu::execBranch(const isa::Inst &inst, uint32_t next_pc,
       case isa::Op::Bclr:
         taken = machine_.evalCond(inst.bo, inst.bi);
         target = machine_.lr();
+        if (taken)
+            checkIndirectTarget(target, "LR");
         break;
       case isa::Op::Bcctr:
         taken = machine_.evalCond(inst.bo, inst.bi);
         target = machine_.ctr();
+        if (taken)
+            checkIndirectTarget(target, "CTR");
         break;
       default:
         CC_PANIC("not a branch");
@@ -70,7 +100,12 @@ CompressedCpu::step()
     bool halted = false;
 
     if (item.isCodeword) {
-        const std::vector<isa::Word> &entry = engine_.entry(item.rank);
+        // Expansion walks the engine's pre-decoded entry cache: the
+        // entry's words went through isa::decode once at engine
+        // construction, so the hot loop is a walk over the cache's
+        // contiguous arena.
+        DecodedEntry entry = engine_.decodedEntry(item.rank);
+        event.rank = item.rank;
         for (unsigned slot = 0; slot < entry.size(); ++slot) {
             // The budget is per expanded architectural instruction, not
             // per fetch slot: a multi-instruction dictionary entry must
@@ -78,7 +113,7 @@ CompressedCpu::step()
             if (inst_count_ >= step_limit_)
                 CC_FATAL("compressed program exceeded ", step_limit_,
                          " steps");
-            isa::Inst inst = isa::decode(entry[slot]);
+            const isa::Inst &inst = entry[slot];
             ++inst_count_;
             ++event.retired;
             // The loader's validator rejects such dictionaries on disk;
@@ -138,11 +173,18 @@ CompressedCpu::run(uint64_t max_steps)
 {
     // The limit is enforced inside step() before every expanded
     // instruction; checking between items here would let a
-    // multi-instruction dictionary entry overshoot the budget.
+    // multi-instruction dictionary entry overshoot the budget. The
+    // guard restores the unbudgeted default even when a machine check
+    // or fatal escapes mid-run, so a caught fault does not leave a
+    // stale budget behind for later step()/run() calls.
+    struct BudgetGuard
+    {
+        uint64_t &limit;
+        ~BudgetGuard() { limit = UINT64_MAX; }
+    } guard{step_limit_};
     step_limit_ = max_steps;
     while (!machine_.halted())
         step();
-    step_limit_ = UINT64_MAX;
     return {machine_.output(), machine_.exitCode(), inst_count_};
 }
 

@@ -61,6 +61,10 @@ class CompressedCpu
     void execBranch(const isa::Inst &inst, uint32_t next_pc,
                     uint32_t self_pc);
 
+    /** Machine-check a taken indirect branch target (@p reg names the
+     *  source register for the fault message). */
+    void checkIndirectTarget(uint32_t target, const char *reg) const;
+
     const compress::CompressedImage &image_;
     DecompressionEngine engine_;
     Machine machine_;

@@ -23,6 +23,24 @@ textImage(const Program &program)
 
 } // namespace
 
+/** Validate a taken indirect branch target at the branch itself, so a
+ *  corrupt LR/CTR is attributed to the branch that consumed it (range
+ *  first, then alignment -- the same order the CompressedCpu's
+ *  item-boundary check fails in). */
+void
+Cpu::checkIndirectTarget(uint32_t target, const char *reg) const
+{
+    uint32_t text_end = Program::textBase + program_.textBytes();
+    if (target < Program::textBase || target >= text_end)
+        throw MachineCheckError(MachineFault::FetchOutOfText, target,
+                                std::string(reg) +
+                                    " as branch target outside .text");
+    if ((target & 3u) != 0)
+        throw MachineCheckError(MachineFault::MisalignedPc, target,
+                                std::string("misaligned ") + reg +
+                                    " as branch target");
+}
+
 Cpu::Cpu(const Program &program) : program_(program)
 {
     CC_ASSERT(program.dataBase != 0, "program not finalized");
@@ -97,20 +115,22 @@ Cpu::step()
       // side exactly the corrupt-LR/CTR bugs a lockstep comparison
       // exists to catch. The invariant is that code pointers entering
       // LR/CTR are always 4-byte aligned in the native space; raise a
-      // machine check instead of silently repairing a violation.
+      // machine check instead of silently repairing a violation. Only a
+      // *taken* branch consumes the pointer -- both processors validate
+      // at that point and nowhere earlier, so lockstep fault
+      // attribution is symmetric (a stale garbage LR under an untaken
+      // bclr is dead data, not a fault).
       case isa::Op::Bclr:
         taken = machine_.evalCond(inst.bo, inst.bi);
         target = machine_.lr();
-        if ((target & 3u) != 0)
-            throw MachineCheckError(MachineFault::MisalignedPc, target,
-                                    "misaligned LR as branch target");
+        if (taken)
+            checkIndirectTarget(target, "LR");
         break;
       case isa::Op::Bcctr:
         taken = machine_.evalCond(inst.bo, inst.bi);
         target = machine_.ctr();
-        if ((target & 3u) != 0)
-            throw MachineCheckError(MachineFault::MisalignedPc, target,
-                                    "misaligned CTR as branch target");
+        if (taken)
+            checkIndirectTarget(target, "CTR");
         break;
       default:
         CC_PANIC("unexpected branch op");

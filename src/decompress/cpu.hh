@@ -45,6 +45,10 @@ class Cpu
     void setFetchHook(FetchHook hook) { fetch_hook_ = std::move(hook); }
 
   private:
+    /** Machine-check a taken indirect branch target (@p reg names the
+     *  source register for the fault message). */
+    void checkIndirectTarget(uint32_t target, const char *reg) const;
+
     const Program &program_;
     Machine machine_;
     uint32_t pc_;

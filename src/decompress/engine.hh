@@ -10,15 +10,33 @@
  * and expands codewords through the rank-ordered dictionary. A one-time
  * sequential scan builds the random-access item table that the fetch
  * stage consults.
+ *
+ * Two scan implementations exist (DESIGN.md section 10). The fast path
+ * (default) loads the stream a 64-bit window -- a 16-nibble slice of a
+ * fetch line -- at a time and classifies each item with one indexed
+ * load from the scheme's precomputed decode tables, extracting the
+ * rank index and instruction word by shift/mask with no per-nibble
+ * branching. The reference path is the original nibble-at-a-time
+ * decoder; the golden-checksum suite proves the two produce identical
+ * item tables and expanded instruction streams on every image.
+ *
+ * The engine also pre-decodes every dictionary entry into isa::Inst
+ * form at construction, so the execution core expands hot codewords
+ * without re-running isa::decode per slot. The cache never needs
+ * invalidation: images are immutable once loaded (the loader validates
+ * and then only the engine reads them), and isa::decode is total, so
+ * eager decoding cannot fault where lazy decoding would not.
  */
 
 #ifndef CODECOMP_DECOMPRESS_ENGINE_HH
 #define CODECOMP_DECOMPRESS_ENGINE_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "compress/image.hh"
 #include "decompress/fault.hh"
+#include "isa/inst.hh"
 #include "support/logging.hh"
 
 namespace codecomp {
@@ -31,12 +49,44 @@ struct DecodedItem
     bool isCodeword;
     uint32_t rank = 0;    //!< dictionary rank (codewords)
     isa::Word word = 0;   //!< instruction word (non-codewords)
+
+    bool operator==(const DecodedItem &) const = default;
+};
+
+/** Contiguous view of one pre-decoded dictionary entry. The engine
+ *  packs every entry's decoded instructions into a single arena, so an
+ *  expansion walks cache-dense memory and engine construction makes
+ *  one allocation for the whole cache instead of one per entry. */
+struct DecodedEntry
+{
+    const isa::Inst *data;
+    uint32_t count;
+
+    const isa::Inst *begin() const { return data; }
+    const isa::Inst *end() const { return data + count; }
+    size_t size() const { return count; }
+    const isa::Inst &operator[](size_t slot) const { return data[slot]; }
+
+    bool
+    operator==(const DecodedEntry &other) const
+    {
+        return count == other.count &&
+               std::equal(begin(), end(), other.begin());
+    }
+};
+
+/** Which stream-scan implementation an engine uses; both must agree
+ *  bit-for-bit on every valid and every corrupt image. */
+enum class DecodePath : uint8_t {
+    Fast,      //!< table-driven 64-bit-window scan
+    Reference, //!< original nibble-at-a-time decoder
 };
 
 class DecompressionEngine
 {
   public:
-    explicit DecompressionEngine(const compress::CompressedImage &image);
+    explicit DecompressionEngine(const compress::CompressedImage &image,
+                                 DecodePath path = DecodePath::Fast);
 
     /** Item starting at compressed-text nibble offset @p nibble_addr;
      *  raises a machine check if the address is not an item boundary (a
@@ -77,16 +127,44 @@ class DecompressionEngine
         return image_.entriesByRank.at(rank);
     }
 
+    /** Pre-decoded dictionary entry for codeword rank @p rank: the
+     *  entry's words run through isa::decode once at construction, so
+     *  the execution core's expansion loop is a cache walk, not a
+     *  decoder. Index-validated by the same scan that bounds item
+     *  ranks, so @p rank from a decoded item is always in range. */
+    DecodedEntry
+    decodedEntry(uint32_t rank) const
+    {
+        uint32_t begin = entryOffsets_[rank];
+        return {decodedPool_.data() + begin,
+                entryOffsets_[rank + 1] - begin};
+    }
+
     const std::vector<DecodedItem> &items() const { return items_; }
     const compress::CompressedImage &image() const { return image_; }
+    DecodePath path() const { return path_; }
+
+    /** FNV-1a64 digest of the fully expanded instruction stream (every
+     *  item in address order, codewords expanded through the
+     *  dictionary, each word hashed big-endian). Two engines over the
+     *  same image must agree regardless of DecodePath -- the
+     *  golden-checksum contract (DESIGN.md section 10). */
+    uint64_t expandedStreamDigest() const;
 
   private:
     /** indexByAddr_ sentinel for nibbles inside (not starting) an item. */
     static constexpr uint32_t noItem = UINT32_MAX;
 
+    void scanFast();
+    void scanReference();
+    void predecodeEntries();
+
     const compress::CompressedImage &image_;
+    DecodePath path_;
     std::vector<DecodedItem> items_;
     std::vector<uint32_t> indexByAddr_; //!< nibble addr -> items_ index
+    std::vector<isa::Inst> decodedPool_;  //!< all entries, rank order
+    std::vector<uint32_t> entryOffsets_;  //!< rank -> pool offset, +1 end
 };
 
 } // namespace codecomp

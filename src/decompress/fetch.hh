@@ -32,6 +32,10 @@ struct FetchEvent
     uint32_t retired;   //!< architectural instructions this item retired
     bool isCodeword;    //!< dictionary codeword (CompressedCpu only)
     bool taken;         //!< item ended in a taken branch (redirect)
+    /** Dictionary rank of a codeword item (0 otherwise). Lets timing
+     *  consumers model a pre-expanded decode cache over the hottest
+     *  (lowest-rank) entries without re-decoding the stream. */
+    uint32_t rank = 0;
 };
 
 /** Observe every fetch-unit item; fires after the item's effects land

@@ -156,12 +156,16 @@ class BitWriter
 class BitReader
 {
   public:
+    /**
+     * The bit count is always explicit, mirroring NibbleReader: a
+     * byte-vector constructor used to assume bytes.size() * 8 bits,
+     * silently granting byte-padded streams up to 7 phantom trailing
+     * bits that a variable-width decoder can misread as a final code.
+     * Producers know their exact count (BitWriter::bitCount(), or a
+     * header-carried pad width); they must pass it.
+     */
     BitReader(const uint8_t *data, size_t bit_count)
         : data_(data), count_(bit_count)
-    {}
-
-    explicit BitReader(const std::vector<uint8_t> &bytes)
-        : data_(bytes.data()), count_(bytes.size() * 8)
     {}
 
     bool

@@ -23,6 +23,9 @@ timingConfigError(const TimingConfig &config)
         return "expansion cycles per word must be <= 10000";
     if (config.redirectPenaltyCycles > 10000)
         return "redirect penalty must be <= 10000 cycles";
+    if (config.decodedCacheRanks > 8192)
+        return "decoded-cache ranks must be <= 8192 (the largest "
+               "dictionary)";
     return "";
 }
 
@@ -60,10 +63,16 @@ FetchTimer::onFetch(const FetchEvent &event)
     fetchedBytes_ += event.bytes;
     unsigned missed = icache_.access(event.addr, event.bytes);
     stallIcacheMiss_ += missed * config_.lineFillCycles();
-    if (event.isCodeword && event.retired > 1)
-        stallExpansion_ += static_cast<uint64_t>(
-                               config_.expansionCyclesPerWord) *
-                           (event.retired - 1);
+    if (event.isCodeword && event.retired > 1) {
+        // A pre-expanded entry streams from the decode cache in the
+        // fetch slot itself; only uncached ranks pay the expander.
+        if (event.rank < config_.decodedCacheRanks)
+            ++expansionCacheHits_;
+        else
+            stallExpansion_ += static_cast<uint64_t>(
+                                   config_.expansionCyclesPerWord) *
+                               (event.retired - 1);
+    }
     if (event.taken)
         stallRedirect_ += config_.redirectPenaltyCycles;
 }
@@ -78,6 +87,7 @@ FetchTimer::reset()
     stallIcacheMiss_ = 0;
     stallExpansion_ = 0;
     stallRedirect_ = 0;
+    expansionCacheHits_ = 0;
 }
 
 TimingReport
@@ -92,6 +102,7 @@ FetchTimer::report() const
     report.stallIcacheMiss = stallIcacheMiss_;
     report.stallExpansion = stallExpansion_;
     report.stallRedirect = stallRedirect_;
+    report.expansionCacheHits = expansionCacheHits_;
     report.icache = icache_.stats();
     return report;
 }
@@ -109,7 +120,8 @@ TimingReport::toJson() const
         .member("base_cycles", baseCycles)
         .member("stall_icache_miss", stallIcacheMiss)
         .member("stall_expansion", stallExpansion)
-        .member("stall_redirect", stallRedirect);
+        .member("stall_redirect", stallRedirect)
+        .member("expansion_cache_hits", expansionCacheHits);
     json.key("icache")
         .beginObject()
         .member("accesses", icache.accesses)

@@ -55,6 +55,16 @@ struct TimingConfig
     /** Front-end redirect cost per taken branch, cycles. */
     uint32_t redirectPenaltyCycles = 2;
 
+    /** Capacity of the modeled pre-expanded decode cache, in dictionary
+     *  ranks: codeword items with rank < decodedCacheRanks stream their
+     *  entry from pre-decoded storage beside the fetch unit and incur
+     *  no expansion stall. Ranks are frequency-ordered, so "the first N
+     *  ranks" is exactly "the N hottest entries", and the set is fixed
+     *  per image -- images are immutable post-load, so the modeled
+     *  cache needs no invalidation or replacement. 0 (default) models
+     *  no cache: every expansion pays expansionCyclesPerWord. */
+    uint32_t decodedCacheRanks = 0;
+
     /** Total stall charged per missed line. */
     uint64_t
     lineFillCycles() const
@@ -87,6 +97,10 @@ struct TimingReport
     uint64_t stallIcacheMiss = 0;   //!< line-fill stalls
     uint64_t stallExpansion = 0;    //!< dictionary-expansion stalls
     uint64_t stallRedirect = 0;     //!< taken-branch redirects
+
+    /** Multi-word codeword items whose expansion stall was absorbed by
+     *  the pre-expanded decode cache (decodedCacheRanks). */
+    uint64_t expansionCacheHits = 0;
 
     cache::CacheStats icache;  //!< accesses/misses/fills/evictions
 
@@ -153,6 +167,7 @@ class FetchTimer
     uint64_t stallIcacheMiss_ = 0;
     uint64_t stallExpansion_ = 0;
     uint64_t stallRedirect_ = 0;
+    uint64_t expansionCacheHits_ = 0;
 };
 
 /**

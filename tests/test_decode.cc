@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Golden-checksum cross-decoder suite (DESIGN.md section 10): the
+ * table-driven fast scan must be bit-for-bit interchangeable with the
+ * reference nibble-at-a-time decoder. Three layers of proof:
+ *
+ *  - DecodeTable: every codeword rank and instruction word round-trips
+ *    through both decodeCodeword implementations with identical results
+ *    and cursor positions; peekItemNibbles agrees on every truncation.
+ *  - DecodeGolden: every workload x scheme x strategy builds two
+ *    engines (Fast, Reference) whose item tables compare equal and
+ *    whose expanded-instruction-stream FNV-1a64 digests match.
+ *  - DecodeCache: the pre-decoded dictionary entries equal a fresh
+ *    isa::decode of the raw entry words, rank for rank.
+ *
+ * These tests carry the `decode` ctest label; ccverify --checksum runs
+ * the same engine-vs-engine comparison as an end-to-end tool check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "compress/compressor.hh"
+#include "compress/encoding.hh"
+#include "decompress/engine.hh"
+#include "decompress/fault.hh"
+#include "isa/builder.hh"
+#include "isa/inst.hh"
+#include "workloads/workloads.hh"
+
+using namespace codecomp;
+using namespace codecomp::compress;
+
+namespace {
+
+constexpr Scheme allSchemes[] = {Scheme::Baseline, Scheme::OneByte,
+                                 Scheme::Nibble};
+
+std::string
+schemeId(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return "baseline";
+      case Scheme::OneByte:
+        return "onebyte";
+      default:
+        return "nibble";
+    }
+}
+
+/** A handful of real (legal-opcode) instruction words, so the escape
+ *  rule genuinely distinguishes them from codewords. */
+std::vector<isa::Word>
+sampleWords()
+{
+    return {
+        isa::encode(isa::li(3, 1)),
+        isa::encode(isa::addi(3, 3, 1)),
+        isa::encode(isa::lis(4, 1)),
+        isa::encode(isa::ori(4, 4, 6)),
+        isa::encode(isa::mtlr(4)),
+        isa::encode(isa::sc()),
+    };
+}
+
+// ---------------- table vs reference, exhaustively ----------------
+
+TEST(DecodeTableCodewords, EveryRankMatchesReferenceDecoder)
+{
+    for (Scheme scheme : allSchemes) {
+        unsigned max = schemeParams(scheme).maxCodewords;
+        for (uint32_t rank = 0; rank < max; ++rank) {
+            NibbleWriter writer;
+            emitCodeword(writer, scheme, rank);
+            ASSERT_EQ(writer.nibbleCount(),
+                      codewordNibbles(scheme, rank));
+
+            NibbleReader fast(writer.bytes().data(),
+                              writer.nibbleCount());
+            NibbleReader reference(writer.bytes().data(),
+                                   writer.nibbleCount());
+            auto fast_rank = decodeCodeword(fast, scheme);
+            auto reference_rank =
+                referenceDecodeCodeword(reference, scheme);
+            ASSERT_TRUE(fast_rank.has_value())
+                << schemeId(scheme) << " rank " << rank;
+            ASSERT_TRUE(reference_rank.has_value());
+            ASSERT_EQ(*fast_rank, rank);
+            ASSERT_EQ(*fast_rank, *reference_rank);
+            ASSERT_EQ(fast.pos(), reference.pos());
+            ASSERT_TRUE(fast.atEnd());
+        }
+    }
+}
+
+TEST(DecodeTableInstructions, RawWordsMatchReferenceDecoder)
+{
+    for (Scheme scheme : allSchemes) {
+        for (isa::Word word : sampleWords()) {
+            NibbleWriter writer;
+            emitInstruction(writer, scheme, word);
+
+            NibbleReader fast(writer.bytes().data(),
+                              writer.nibbleCount());
+            NibbleReader reference(writer.bytes().data(),
+                                   writer.nibbleCount());
+            auto fast_rank = decodeCodeword(fast, scheme);
+            auto reference_rank =
+                referenceDecodeCodeword(reference, scheme);
+            ASSERT_FALSE(fast_rank.has_value())
+                << schemeId(scheme) << " word " << std::hex << word;
+            ASSERT_FALSE(reference_rank.has_value());
+            // Both decoders leave the cursor at the start of the word
+            // (past any escape), so getWord() recovers it.
+            ASSERT_EQ(fast.pos(), reference.pos());
+            ASSERT_EQ(fast.getWord(), word);
+        }
+    }
+}
+
+TEST(DecodeTablePeek, AgreesWithReferenceOnEveryTruncation)
+{
+    // A stream holding one of everything, then every truncated prefix
+    // of it: peek must classify identically to the reference,
+    // including the "stream cannot hold the whole item" nullopt.
+    for (Scheme scheme : allSchemes) {
+        NibbleWriter writer;
+        unsigned max = schemeParams(scheme).maxCodewords;
+        for (uint32_t rank : {0u, 1u, 7u, 31u, max - 1})
+            emitCodeword(writer, scheme, rank % max);
+        for (isa::Word word : sampleWords())
+            emitInstruction(writer, scheme, word);
+
+        for (size_t len = 0; len <= writer.nibbleCount(); ++len) {
+            NibbleReader fast(writer.bytes().data(), len);
+            NibbleReader reference(writer.bytes().data(), len);
+            auto fast_peek = peekItemNibbles(fast, scheme);
+            auto reference_peek =
+                referencePeekItemNibbles(reference, scheme);
+            ASSERT_EQ(fast_peek, reference_peek)
+                << schemeId(scheme) << " truncated to " << len
+                << " nibbles";
+        }
+    }
+}
+
+TEST(DecodeTableShape, TablesCoverEveryPrefixConsistently)
+{
+    for (Scheme scheme : allSchemes) {
+        const DecodeTables &tables = decodeTables(scheme);
+        unsigned prefix_values = 1u << (4 * tables.prefixNibbles);
+        ASSERT_LE(prefix_values, tables.classes.size());
+        for (unsigned prefix = 0; prefix < prefix_values; ++prefix) {
+            const ItemClass &cls = tables.classes[prefix];
+            // An item is never shorter than its prefix, and the fast
+            // scan's 64-bit window must always hold it.
+            EXPECT_GE(cls.nibbles, tables.prefixNibbles);
+            EXPECT_LE(cls.nibbles, 9u);
+            EXPECT_LE(tables.prefixNibbles + cls.indexNibbles,
+                      cls.nibbles);
+            if (cls.isCodeword) {
+                EXPECT_EQ(cls.rewindNibbles, 0u);
+                // The class's rank range stays inside the scheme.
+                uint32_t top = cls.rankBase +
+                               (1u << (4 * cls.indexNibbles)) - 1;
+                EXPECT_LT(top, schemeParams(scheme).maxCodewords);
+            } else {
+                EXPECT_EQ(cls.indexNibbles, 0u);
+                EXPECT_LE(cls.rewindNibbles, tables.prefixNibbles);
+            }
+        }
+    }
+}
+
+// ---------------- golden checksums over the full suite ----------------
+
+class DecodeGolden
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, Scheme, StrategyKind>>
+{};
+
+TEST_P(DecodeGolden, FastAndReferenceEnginesAgree)
+{
+    const auto &[name, scheme, strategy] = GetParam();
+    Program p = workloads::buildBenchmark(name);
+    CompressorConfig config;
+    config.scheme = scheme;
+    config.strategy = strategy;
+    CompressedImage image = compressProgram(p, config);
+
+    DecompressionEngine fast(image, DecodePath::Fast);
+    DecompressionEngine reference(image, DecodePath::Reference);
+    ASSERT_EQ(fast.path(), DecodePath::Fast);
+    ASSERT_EQ(reference.path(), DecodePath::Reference);
+
+    ASSERT_EQ(fast.items().size(), reference.items().size());
+    EXPECT_EQ(fast.items(), reference.items());
+    EXPECT_EQ(fast.expandedStreamDigest(),
+              reference.expandedStreamDigest());
+    // The digest covers the whole expanded program: one word per
+    // retired slot, so it must differ from the empty-stream offset.
+    EXPECT_NE(fast.expandedStreamDigest(), 14695981039346656037ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, DecodeGolden,
+    ::testing::Combine(
+        ::testing::ValuesIn(workloads::benchmarkNames()),
+        ::testing::Values(Scheme::Baseline, Scheme::OneByte,
+                          Scheme::Nibble),
+        ::testing::Values(StrategyKind::Greedy,
+                          StrategyKind::IterativeRefit)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               schemeId(std::get<1>(info.param)) +
+               (std::get<2>(info.param) == StrategyKind::Greedy
+                    ? "_greedy"
+                    : "_refit");
+    });
+
+// ---------------- both paths fault identically ----------------
+
+/** Outcome of an engine construction: the item count and digest, or
+ *  the machine-check's kind/address/message. */
+std::string
+scanOutcome(const CompressedImage &image, DecodePath path)
+{
+    try {
+        DecompressionEngine engine(image, path);
+        return "ok items=" + std::to_string(engine.items().size()) +
+               " digest=" +
+               std::to_string(engine.expandedStreamDigest());
+    } catch (const MachineCheckError &error) {
+        return std::string("fault ") + std::to_string(
+                   static_cast<int>(error.fault())) +
+               " @" + std::to_string(error.addr()) + ": " +
+               error.what();
+    }
+}
+
+TEST(DecodeTableFaults, TruncatedStreamsFaultIdenticallyOnBothPaths)
+{
+    // Shave trailing nibbles off a real image: whatever each
+    // truncation does (clean scan when it lands on an item boundary,
+    // BadCodeword mid-item), both paths must do it bit-for-bit.
+    Program p = workloads::buildBenchmark("compress");
+    for (Scheme scheme : allSchemes) {
+        CompressorConfig config;
+        config.scheme = scheme;
+        CompressedImage image = compressProgram(p, config);
+        for (size_t cut = 1; cut <= 9 && cut < image.textNibbles;
+             ++cut) {
+            CompressedImage mutant = image;
+            mutant.textNibbles -= cut;
+            EXPECT_EQ(scanOutcome(mutant, DecodePath::Fast),
+                      scanOutcome(mutant, DecodePath::Reference))
+                << schemeId(scheme) << " cut " << cut;
+        }
+    }
+}
+
+TEST(DecodeTableFaults, OutOfRangeRankFaultsIdenticallyOnBothPaths)
+{
+    // Shrink the dictionary under a valid stream so some codeword's
+    // rank dangles; both scans must report the same DictIndexOutOfRange.
+    Program p = workloads::buildBenchmark("li");
+    for (Scheme scheme : allSchemes) {
+        CompressorConfig config;
+        config.scheme = scheme;
+        CompressedImage image = compressProgram(p, config);
+        ASSERT_GT(image.entriesByRank.size(), 1u);
+        CompressedImage mutant = image;
+        mutant.entriesByRank.resize(1);
+        std::string fast = scanOutcome(mutant, DecodePath::Fast);
+        EXPECT_EQ(fast, scanOutcome(mutant, DecodePath::Reference));
+        EXPECT_NE(fast.find("beyond dictionary"), std::string::npos)
+            << schemeId(scheme) << ": " << fast;
+    }
+}
+
+// ---------------- pre-decoded entry cache ----------------
+
+TEST(DecodeCache, PredecodedEntriesMatchFreshDecode)
+{
+    Program p = workloads::buildBenchmark("go");
+    for (Scheme scheme : allSchemes) {
+        CompressorConfig config;
+        config.scheme = scheme;
+        CompressedImage image = compressProgram(p, config);
+        DecompressionEngine engine(image);
+        ASSERT_FALSE(image.entriesByRank.empty());
+        for (uint32_t rank = 0; rank < image.entriesByRank.size();
+             ++rank) {
+            const std::vector<isa::Word> &words =
+                image.entriesByRank[rank];
+            DecodedEntry cached = engine.decodedEntry(rank);
+            ASSERT_EQ(cached.size(), words.size());
+            for (size_t slot = 0; slot < words.size(); ++slot)
+                EXPECT_EQ(cached[slot], isa::decode(words[slot]))
+                    << schemeId(scheme) << " rank " << rank
+                    << " slot " << slot;
+        }
+    }
+}
+
+TEST(DecodeCache, BothPathsBuildTheSameCache)
+{
+    Program p = workloads::buildBenchmark("gcc");
+    CompressorConfig config;
+    config.scheme = Scheme::Nibble;
+    CompressedImage image = compressProgram(p, config);
+    DecompressionEngine fast(image, DecodePath::Fast);
+    DecompressionEngine reference(image, DecodePath::Reference);
+    for (uint32_t rank = 0; rank < image.entriesByRank.size(); ++rank)
+        ASSERT_EQ(fast.decodedEntry(rank), reference.decodedEntry(rank));
+}
+
+} // namespace

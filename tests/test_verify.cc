@@ -194,12 +194,16 @@ TEST(LockstepBadLr, HarnessReportsCorruptedLrAsDivergence)
 
     verify::LockstepResult result = verify::runLockstep(p, image);
     ASSERT_FALSE(result.ok());
-    // Both processors trip on the bad pointer; either side's machine
-    // check must surface as a reported divergence, not a process abort.
+    // Both processors validate the pointer at the taken blr itself; the
+    // compressed side steps first, so its machine check surfaces as a
+    // reported divergence attributed to the branch (the literal 0x10006
+    // is below the compressed text base), not a process abort at some
+    // later fetch.
     EXPECT_NE(result.divergences[0].kind.find("fault"), std::string::npos)
         << verify::formatReport(result);
-    EXPECT_NE(result.divergences[0].detail.find("misaligned"),
-              std::string::npos);
+    EXPECT_NE(result.divergences[0].detail.find("branch target"),
+              std::string::npos)
+        << verify::formatReport(result);
 }
 
 // ---------------- per-instruction step budget ----------------
@@ -253,6 +257,69 @@ TEST(CompressedCpuBudget, MaxStepsEnforcedInsideDictionaryEntries)
         EXPECT_EQ(r.instCount, 7u);
         EXPECT_EQ(r.exitCode, 4);
     }
+}
+
+TEST(CompressedCpuBudget, BudgetDoesNotOutliveEscapedFatal)
+{
+    // Same hand-built image as above: a four-instruction dictionary
+    // entry guarantees the budget trips mid-expansion.
+    std::vector<isa::Inst> insns = {
+        isa::li(3, 0),       // 0
+        isa::addi(3, 3, 1),  // 1
+        isa::addi(3, 3, 1),  // 2
+        isa::addi(3, 3, 1),  // 3
+        isa::addi(3, 3, 1),  // 4
+        isa::li(0, 0),       // 5
+        isa::sc(),           // 6
+    };
+    Program p = rawProgram(insns);
+
+    SelectionResult selection;
+    selection.dict.entries = {{
+        isa::encode(isa::addi(3, 3, 1)), isa::encode(isa::addi(3, 3, 1)),
+        isa::encode(isa::addi(3, 3, 1)), isa::encode(isa::addi(3, 3, 1)),
+    }};
+    selection.placements = {{1, 4, 0}};
+    selection.useCount = {1};
+    CompressorConfig config;
+    CompressedImage image = compressWithSelection(p, config, selection);
+
+    CompressedCpu cpu(image);
+    EXPECT_THROW(cpu.run(3), std::runtime_error);
+    // run() used to leave step_limit_ == 3 behind when the watchdog
+    // fatal escaped, so this manual step() -- outside any run() budget
+    // -- would immediately re-trip the stale limit. The RAII guard
+    // restores the unbudgeted default on unwind.
+    EXPECT_NO_THROW(cpu.step());
+    while (cpu.step()) {
+    }
+    EXPECT_TRUE(cpu.machine().halted());
+}
+
+TEST(IndirectBranchCheck, CompressedAttributesCorruptLrAtTheBranch)
+{
+    // The literal 0x10006 is a native text address; in the compressed
+    // space it sits below the nibble base, so the blr consumes a wild
+    // pointer. The fault must carry the branch's target and fire on
+    // the branch step itself -- not on the following fetch, where the
+    // faulting PC would no longer name the culprit.
+    Program p = rawProgram(badLrInsts());
+    CompressedImage image = compressScheme(p, Scheme::Nibble);
+    CompressedCpu cpu(image);
+    try {
+        while (cpu.step()) {
+        }
+        FAIL() << "corrupt LR went unnoticed at the branch";
+    } catch (const MachineCheckError &error) {
+        EXPECT_EQ(error.fault(), MachineFault::FetchOutOfText);
+        EXPECT_EQ(error.addr(), 0x00010006u);
+        EXPECT_NE(std::string(error.what()).find("branch target"),
+                  std::string::npos)
+            << error.what();
+    }
+    // lis, ori, mtlr retired, then the blr itself (counted before its
+    // target check); nothing after the branch ran.
+    EXPECT_EQ(cpu.instCount(), 4u);
 }
 
 // ---------------- fault injection ----------------

@@ -6,7 +6,8 @@
  *
  *   cctime prog.ccp prog.cci [--width N] [--icache CAP:LINE:WAYS]
  *          [--miss-penalty N] [--mem-cycles N] [--expand-cycles N]
- *          [--redirect-penalty N] [--max-steps N] [--json <file>]
+ *          [--redirect-penalty N] [--decoded-cache N] [--max-steps N]
+ *          [--json <file>]
  *
  * The two runs must produce identical program output and exit code
  * (they are the same program); a mismatch is reported as a verification
@@ -37,8 +38,8 @@ usage()
         stderr,
         "usage: cctime <prog.ccp> <prog.cci> [--width N] "
         "[--icache CAP:LINE:WAYS] [--miss-penalty N] [--mem-cycles N] "
-        "[--expand-cycles N] [--redirect-penalty N] [--max-steps N] "
-        "[--json <file>]\n");
+        "[--expand-cycles N] [--redirect-penalty N] [--decoded-cache N] "
+        "[--max-steps N] [--json <file>]\n");
     return tools::exitUserError;
 }
 
@@ -65,11 +66,12 @@ printReport(const char *label, const timing::TimingReport &report)
                 report.cpi(),
                 static_cast<unsigned long long>(report.instructions),
                 static_cast<unsigned long long>(report.fetchedBytes));
-    std::printf("           stalls: icache-miss %llu, expansion %llu, "
-                "redirect %llu; icache %llu/%llu miss (%.2f%%), "
-                "%llu evictions\n",
+    std::printf("           stalls: icache-miss %llu, expansion %llu "
+                "(%llu decode-cache hits), redirect %llu; "
+                "icache %llu/%llu miss (%.2f%%), %llu evictions\n",
                 static_cast<unsigned long long>(report.stallIcacheMiss),
                 static_cast<unsigned long long>(report.stallExpansion),
+                static_cast<unsigned long long>(report.expansionCacheHits),
                 static_cast<unsigned long long>(report.stallRedirect),
                 static_cast<unsigned long long>(report.icache.misses),
                 static_cast<unsigned long long>(report.icache.accesses),
@@ -107,6 +109,9 @@ run(int argc, char **argv)
                 static_cast<uint32_t>(std::atol(argv[++i]));
         } else if (arg == "--redirect-penalty" && i + 1 < argc) {
             config.redirectPenaltyCycles =
+                static_cast<uint32_t>(std::atol(argv[++i]));
+        } else if (arg == "--decoded-cache" && i + 1 < argc) {
+            config.decodedCacheRanks =
                 static_cast<uint32_t>(std::atol(argv[++i]));
         } else if (arg == "--max-steps" && i + 1 < argc) {
             max_steps = static_cast<uint64_t>(std::atoll(argv[++i]));
@@ -161,12 +166,12 @@ run(int argc, char **argv)
     timing::TimingReport compressed = compressedTimer.report();
 
     std::printf("model: width %u, icache %u:%u:%u, fill %llu cycles, "
-                "expand %u/word, redirect %u\n",
+                "expand %u/word, redirect %u, decoded-cache %u ranks\n",
                 config.frontendWidth, config.icache.capacityBytes,
                 config.icache.lineBytes, config.icache.ways,
                 static_cast<unsigned long long>(config.lineFillCycles()),
                 config.expansionCyclesPerWord,
-                config.redirectPenaltyCycles);
+                config.redirectPenaltyCycles, config.decodedCacheRanks);
     printReport("native", native);
     printReport("compressed", compressed);
     double speedup = compressed.cycles() == 0
@@ -187,6 +192,7 @@ run(int argc, char **argv)
             .member("mem_cycles_per_word", config.memoryCyclesPerWord)
             .member("expand_cycles_per_word", config.expansionCyclesPerWord)
             .member("redirect_penalty", config.redirectPenaltyCycles)
+            .member("decoded_cache_ranks", config.decodedCacheRanks)
             .endObject();
         // TimingReport::toJson returns complete objects; compose the
         // document from the closed pieces.
