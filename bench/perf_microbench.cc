@@ -27,6 +27,7 @@
 #include "compress/pipeline.hh"
 #include "decompress/compressed_cpu.hh"
 #include "decompress/cpu.hh"
+#include "farm/farm.hh"
 #include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
@@ -488,6 +489,57 @@ reportPassTimings()
                 stats.toJson().c_str());
 }
 
+void
+reportFarmThroughput()
+{
+    // Farm throughput over the starter corpus (8 workloads x 3 schemes
+    // x 2 strategies) and what the enumeration/selection cache buys: a
+    // cached run vs an uncached run of the same queue, same pool.
+    std::vector<farm::FarmJob> corpus = farm::starterCorpus();
+    farm::FarmOptions options;
+    options.keepImages = false;
+
+    options.cache = false;
+    farm::runFarm(corpus, options); // warm
+    farm::FarmReport uncached = farm::runFarm(corpus, options);
+    options.cache = true;
+    farm::FarmReport cached = farm::runFarm(corpus, options);
+
+    double uncached_jps =
+        1000.0 * static_cast<double>(corpus.size()) /
+        uncached.compressMillis;
+    double cached_jps = 1000.0 * static_cast<double>(corpus.size()) /
+                        cached.compressMillis;
+    std::printf("farm throughput (%zu jobs, %u workers): uncached "
+                "%.1f ms (%.1f jobs/s), cached %.1f ms (%.1f jobs/s), "
+                "speedup %.2fx\n",
+                corpus.size(), cached.poolJobs, uncached.compressMillis,
+                uncached_jps, cached.compressMillis, cached_jps,
+                uncached.compressMillis / cached.compressMillis);
+    std::printf("PERF_JSON: {\"bench\":\"farm_throughput\","
+                "\"jobs\":%zu,\"workers\":%u,\"uncached_ms\":%.2f,"
+                "\"cached_ms\":%.2f,\"jobs_per_second\":%.2f,"
+                "\"speedup\":%.3f}\n",
+                corpus.size(), cached.poolJobs, uncached.compressMillis,
+                cached.compressMillis, cached_jps,
+                uncached.compressMillis / cached.compressMillis);
+    const PipelineCache::Stats &cs = cached.cacheStats;
+    double lookups = static_cast<double>(
+        cs.enumHits + cs.enumMisses + cs.selectHits + cs.selectMisses);
+    std::printf("PERF_JSON: {\"bench\":\"farm_cache_hit\","
+                "\"enum_hits\":%llu,\"enum_misses\":%llu,"
+                "\"select_hits\":%llu,\"select_misses\":%llu,"
+                "\"hit_rate\":%.3f}\n",
+                static_cast<unsigned long long>(cs.enumHits),
+                static_cast<unsigned long long>(cs.enumMisses),
+                static_cast<unsigned long long>(cs.selectHits),
+                static_cast<unsigned long long>(cs.selectMisses),
+                lookups > 0.0
+                    ? static_cast<double>(cs.enumHits + cs.selectHits) /
+                          lookups
+                    : 0.0);
+}
+
 } // namespace
 
 int
@@ -508,5 +560,6 @@ main(int argc, char **argv)
     reportExpandCache();
     reportPassTimings();
     reportSuiteSpeedup();
+    reportFarmThroughput();
     return 0;
 }

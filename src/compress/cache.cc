@@ -1,0 +1,103 @@
+#include "compress/cache.hh"
+
+#include "compress/objfile.hh"
+#include "support/serialize.hh"
+
+namespace codecomp::compress {
+
+namespace {
+
+/** Fold @p fields into @p seed with FNV-1a64 over their bytes. */
+uint64_t
+hashFields(uint64_t seed, const std::vector<uint64_t> &fields)
+{
+    ByteSink sink;
+    sink.put64(seed);
+    for (uint64_t field : fields)
+        sink.put64(field);
+    return fnv1a64(sink.bytes());
+}
+
+} // namespace
+
+uint64_t
+PipelineCache::programHash(const Program &program)
+{
+    // The serialized form covers everything a compression can read:
+    // text, data, relocations, symbols, entry point.
+    return fnv1a64(saveProgram(program));
+}
+
+uint64_t
+PipelineCache::enumerateKey(uint64_t programHash,
+                            const CompressorConfig &config)
+{
+    // Enumeration walks basic blocks collecting sequences of
+    // 1..maxEntryLen instructions; nothing else in the config matters.
+    // (minEntryLen is a GreedyConfig field the context derives as 1;
+    // keyed here so a future knob cannot silently alias.)
+    return hashFields(programHash, {1u, config.maxEntryLen});
+}
+
+uint64_t
+PipelineCache::selectKey(uint64_t programHash,
+                         const CompressorConfig &config)
+{
+    return hashFields(programHash,
+                      {static_cast<uint64_t>(config.scheme),
+                       config.maxEntries, config.maxEntryLen,
+                       config.assumedCodewordNibbles,
+                       static_cast<uint64_t>(config.strategy),
+                       config.refitMaxRounds});
+}
+
+std::shared_ptr<const PipelineCache::CandidateList>
+PipelineCache::findCandidates(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = candidates_.find(key);
+    if (it == candidates_.end()) {
+        ++stats_.enumMisses;
+        return nullptr;
+    }
+    ++stats_.enumHits;
+    return it->second;
+}
+
+std::shared_ptr<const CachedSelection>
+PipelineCache::findSelection(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = selections_.find(key);
+    if (it == selections_.end()) {
+        ++stats_.selectMisses;
+        return nullptr;
+    }
+    ++stats_.selectHits;
+    return it->second;
+}
+
+void
+PipelineCache::storeCandidates(
+    uint64_t key, std::shared_ptr<const CandidateList> candidates)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    candidates_.emplace(key, std::move(candidates));
+}
+
+void
+PipelineCache::storeSelection(
+    uint64_t key, std::shared_ptr<const CachedSelection> selection)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    selections_.emplace(key, std::move(selection));
+}
+
+PipelineCache::Stats
+PipelineCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace codecomp::compress

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Content-addressed cache of the pipeline's Enumerate and Select
+ * products, shared by concurrent compressions of a job corpus.
+ *
+ * The farm (src/farm) compresses many (program, config) pairs at once;
+ * sweeps revisit the same program under several schemes and strategies,
+ * and generated corpora contain outright duplicate programs. Both
+ * stages are deterministic pure functions of their keys, so caching
+ * their results cannot change any output image:
+ *
+ *   candidates = f(program bytes, minEntryLen, maxEntryLen)
+ *   selection  = f(program bytes, full compressor config)
+ *
+ * Keys are FNV-1a64 over the program's serialized bytes combined with
+ * the config fields the stage depends on. Candidate enumeration is
+ * scheme-independent, so one enumeration serves all schemes and
+ * strategies of a program -- the common sweep shape. Values are
+ * shared_ptr-to-const: readers on any thread hold the product alive
+ * without copying it; lookups and stores take one mutex (the products
+ * are large and computed rarely, so contention is negligible next to
+ * the work saved).
+ *
+ * A PipelineCache is attached to a compression through
+ * PipelineContext::cache (pipeline.hh); a null cache leaves the
+ * pipeline exactly as before.
+ */
+
+#ifndef CODECOMP_COMPRESS_CACHE_HH
+#define CODECOMP_COMPRESS_CACHE_HH
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/candidates.hh"
+#include "compress/compressor.hh"
+#include "compress/selection.hh"
+
+namespace codecomp::compress {
+
+/** A cached Select product: the selection plus the strategy's round
+ *  count (so cached stats report the rounds the original run took). */
+struct CachedSelection
+{
+    SelectionResult selection;
+    uint32_t rounds = 1;
+};
+
+class PipelineCache
+{
+  public:
+    /** Hit/miss counters per cached stage (monotonic; thread-safe). */
+    struct Stats
+    {
+        uint64_t enumHits = 0;
+        uint64_t enumMisses = 0;
+        uint64_t selectHits = 0;
+        uint64_t selectMisses = 0;
+    };
+
+    using CandidateList = std::vector<Candidate>;
+
+    /** FNV-1a64 over the program's serialized bytes -- the
+     *  content-identity half of every cache key. */
+    static uint64_t programHash(const Program &program);
+
+    /** Key of the Enumerate product: program content plus the entry
+     *  length window (the only config enumeration reads). */
+    static uint64_t enumerateKey(uint64_t programHash,
+                                 const CompressorConfig &config);
+
+    /** Key of the Select product: program content plus every config
+     *  field that can steer selection. */
+    static uint64_t selectKey(uint64_t programHash,
+                              const CompressorConfig &config);
+
+    /** Cached candidates for @p key, or null on a miss (counted). */
+    std::shared_ptr<const CandidateList> findCandidates(uint64_t key);
+
+    /** Cached selection for @p key, or null on a miss (counted). */
+    std::shared_ptr<const CachedSelection> findSelection(uint64_t key);
+
+    /** Store a product; the first store for a key wins and later ones
+     *  are dropped (concurrent fills compute identical values). */
+    void storeCandidates(uint64_t key,
+                         std::shared_ptr<const CandidateList> candidates);
+    void storeSelection(uint64_t key,
+                        std::shared_ptr<const CachedSelection> selection);
+
+    Stats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, std::shared_ptr<const CandidateList>>
+        candidates_;
+    std::unordered_map<uint64_t, std::shared_ptr<const CachedSelection>>
+        selections_;
+    Stats stats_;
+};
+
+} // namespace codecomp::compress
+
+#endif // CODECOMP_COMPRESS_CACHE_HH

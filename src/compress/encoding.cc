@@ -353,4 +353,30 @@ schemeName(Scheme scheme)
     return "?";
 }
 
+const char *
+schemeCliName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return "baseline";
+      case Scheme::OneByte:
+        return "onebyte";
+      case Scheme::Nibble:
+        return "nibble";
+    }
+    return "?";
+}
+
+std::optional<Scheme>
+parseSchemeName(std::string_view name)
+{
+    if (name == "baseline")
+        return Scheme::Baseline;
+    if (name == "onebyte")
+        return Scheme::OneByte;
+    if (name == "nibble")
+        return Scheme::Nibble;
+    return std::nullopt;
+}
+
 } // namespace codecomp::compress

@@ -29,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "support/bitstream.hh"
 
@@ -119,7 +120,15 @@ std::optional<uint32_t> referenceDecodeCodeword(NibbleReader &reader,
 std::optional<unsigned> referencePeekItemNibbles(NibbleReader reader,
                                                  Scheme scheme);
 
+/** Descriptive display name: "baseline-2byte", "one-byte",
+ *  "nibble-aligned" (stats output and figures). */
 const char *schemeName(Scheme scheme);
+
+/** CLI / job-spec name: "baseline", "onebyte", "nibble". */
+const char *schemeCliName(Scheme scheme);
+
+/** Inverse of schemeCliName; nullopt for an unknown name. */
+std::optional<Scheme> parseSchemeName(std::string_view name);
 
 } // namespace codecomp::compress
 

@@ -324,23 +324,66 @@ PipelineContext::counter(std::string name, uint64_t value)
 void
 passEnumerate(PipelineContext &ctx)
 {
+    if (ctx.cache) {
+        // A cached Select product supersedes enumeration: nothing
+        // downstream of Select reads the candidates.
+        ctx.cachedSelection = ctx.cache->findSelection(
+            PipelineCache::selectKey(ctx.programHash, ctx.config));
+        if (ctx.cachedSelection) {
+            ctx.counter("select_cache_hit", 1);
+            return;
+        }
+        uint64_t key =
+            PipelineCache::enumerateKey(ctx.programHash, ctx.config);
+        ctx.sharedCandidates = ctx.cache->findCandidates(key);
+        if (ctx.sharedCandidates) {
+            ctx.counter("enumerate_cache_hit", 1);
+            ctx.counter("candidates", ctx.sharedCandidates->size());
+            return;
+        }
+    }
     ctx.cfg = Cfg::build(ctx.program);
     ctx.candidates =
         enumerateCandidates(ctx.program, *ctx.cfg, ctx.greedy.minEntryLen,
                             ctx.greedy.maxEntryLen);
     ctx.counter("blocks", ctx.cfg->blocks().size());
     ctx.counter("candidates", ctx.candidates.size());
+    if (ctx.cache) {
+        auto computed = std::make_shared<PipelineCache::CandidateList>(
+            std::move(ctx.candidates));
+        ctx.candidates.clear();
+        ctx.sharedCandidates = computed;
+        ctx.cache->storeCandidates(
+            PipelineCache::enumerateKey(ctx.programHash, ctx.config),
+            std::move(computed));
+    }
 }
 
 void
 passSelect(PipelineContext &ctx)
 {
-    ctx.selection = ctx.strategy->select(ctx.program.text.size(),
-                                         ctx.candidates, ctx.greedy,
-                                         ctx.config.scheme);
+    if (ctx.cachedSelection) {
+        ctx.selection = ctx.cachedSelection->selection;
+        ctx.selectionRoundsOverride = ctx.cachedSelection->rounds;
+    } else {
+        ctx.selection = ctx.strategy->select(ctx.program.text.size(),
+                                             ctx.candidateList(),
+                                             ctx.greedy,
+                                             ctx.config.scheme);
+        if (ctx.cache) {
+            auto computed = std::make_shared<CachedSelection>();
+            computed->selection = ctx.selection;
+            computed->rounds = ctx.strategy->rounds();
+            ctx.cache->storeSelection(
+                PipelineCache::selectKey(ctx.programHash, ctx.config),
+                std::move(computed));
+        }
+    }
     ctx.counter("entries", ctx.selection.dict.entries.size());
     ctx.counter("placements", ctx.selection.placements.size());
-    ctx.counter("rounds", ctx.strategy->rounds());
+    ctx.counter("rounds", ctx.selectionRoundsOverride
+                              ? ctx.selectionRoundsOverride
+                              : ctx.strategy->rounds());
 }
 
 void
@@ -504,7 +547,9 @@ Pipeline::run(PipelineContext &ctx) const
     }
     if (ctx.strategy) {
         stats.strategy = ctx.strategy->name();
-        stats.selectionRounds = ctx.strategy->rounds();
+        stats.selectionRounds = ctx.selectionRoundsOverride
+                                    ? ctx.selectionRoundsOverride
+                                    : ctx.strategy->rounds();
     }
     return stats;
 }

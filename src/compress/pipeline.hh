@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "compress/cache.hh"
 #include "compress/candidates.hh"
 #include "compress/compressor.hh"
 #include "compress/strategy.hh"
@@ -89,12 +90,39 @@ struct PipelineContext
 
     std::unique_ptr<SelectionStrategy> strategy;
 
+    /**
+     * Optional Enumerate/Select result cache (cache.hh), shared across
+     * compressions (the farm attaches one per corpus run). When set,
+     * @p programHash must hold PipelineCache::programHash(program);
+     * products land in sharedCandidates / cachedSelection instead of
+     * being recomputed. Null leaves the pipeline byte-for-byte as
+     * before -- and cached runs produce bit-identical images anyway,
+     * because both cached stages are deterministic in the key.
+     */
+    PipelineCache *cache = nullptr;
+    uint64_t programHash = 0;
+
     // ---- pass products ----
     std::optional<Cfg> cfg;            //!< Enumerate
     std::vector<Candidate> candidates; //!< Enumerate
+    /** Enumerate product when served by (or stored into) the cache. */
+    std::shared_ptr<const PipelineCache::CandidateList> sharedCandidates;
+    /** Select product when the cache already held it (set during
+     *  Enumerate, consumed by Select). */
+    std::shared_ptr<const CachedSelection> cachedSelection;
+    /** Rounds to report when Select was served from cache (0 = ask the
+     *  strategy, as before). */
+    uint32_t selectionRoundsOverride = 0;
     SelectionResult selection;         //!< Select (or seeded by caller)
     std::unique_ptr<LayoutWork> layout; //!< Layout..Emit
     CompressedImage image;             //!< RankAssign..Emit
+
+    /** The enumerated candidates, wherever they live. */
+    const std::vector<Candidate> &
+    candidateList() const
+    {
+        return sharedCandidates ? *sharedCandidates : candidates;
+    }
 
     /** Record a counter on the pass currently running (no-op when the
      *  pass functions are called outside Pipeline::run). */

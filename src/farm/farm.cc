@@ -1,0 +1,269 @@
+#include "farm/farm.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "compress/objfile.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/serialize.hh"
+#include "support/thread_pool.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::farm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** One workload program built once and shared by all its jobs. */
+struct BuiltProgram
+{
+    Program program;
+    uint64_t hash = 0; //!< PipelineCache::programHash(program)
+};
+
+std::string
+hexDigest(uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** One per-job record; @p full adds wall time and pipeline stats. */
+void
+jobRecordJson(JsonWriter &json, const FarmJobResult &result, bool full)
+{
+    json.beginObject();
+    json.member("id", result.id);
+    json.member("workload", result.workload);
+    json.member("scheme", result.scheme);
+    json.member("strategy", result.strategy);
+    if (!result.ok()) {
+        json.member("error", result.error);
+    } else {
+        json.member("total_bytes", result.totalBytes);
+        json.member("text_bytes", result.textBytes);
+        json.member("dict_bytes", result.dictBytes);
+        json.member("ratio", result.ratio);
+        json.member("far_branch_expansions", result.farBranchExpansions);
+        json.member("image_fnv64", hexDigest(result.imageFnv64));
+    }
+    if (full) {
+        json.member("millis", result.millis);
+        if (result.ok()) {
+            json.key("pipeline");
+            json.raw(result.stats.toJson());
+        }
+    }
+    json.endObject();
+}
+
+} // namespace
+
+size_t
+FarmReport::failures() const
+{
+    return static_cast<size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const FarmJobResult &r) { return !r.ok(); }));
+}
+
+std::vector<std::pair<std::string, double>>
+FarmReport::passTotals() const
+{
+    std::vector<std::pair<std::string, double>> totals;
+    for (const FarmJobResult &result : results) {
+        for (const compress::PassStats &pass : result.stats.passes) {
+            auto it = std::find_if(totals.begin(), totals.end(),
+                                   [&pass](const auto &entry) {
+                                       return entry.first == pass.name;
+                                   });
+            if (it == totals.end())
+                totals.emplace_back(pass.name, pass.millis);
+            else
+                it->second += pass.millis;
+        }
+    }
+    return totals;
+}
+
+std::string
+FarmReport::resultsJson() const
+{
+    JsonWriter json;
+    json.beginArray();
+    for (const FarmJobResult &result : results)
+        jobRecordJson(json, result, /*full=*/false);
+    json.endArray();
+    return json.str();
+}
+
+std::string
+FarmReport::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.member("jobs", static_cast<uint64_t>(results.size()));
+    json.member("failures", static_cast<uint64_t>(failures()));
+    json.member("pool_jobs", poolJobs);
+    json.member("cache", cacheEnabled);
+    json.member("build_millis", buildMillis);
+    json.member("compress_millis", compressMillis);
+    json.member("wall_millis", wallMillis);
+    json.member("jobs_per_second",
+                compressMillis > 0.0
+                    ? 1000.0 * static_cast<double>(results.size()) /
+                          compressMillis
+                    : 0.0);
+    json.key("cache_stats");
+    json.beginObject();
+    json.member("enum_hits", cacheStats.enumHits);
+    json.member("enum_misses", cacheStats.enumMisses);
+    json.member("select_hits", cacheStats.selectHits);
+    json.member("select_misses", cacheStats.selectMisses);
+    json.endObject();
+    json.key("pass_millis");
+    json.beginObject();
+    for (const auto &[name, millis] : passTotals())
+        json.member(name, millis);
+    json.endObject();
+    json.key("results");
+    json.beginArray();
+    for (const FarmJobResult &result : results)
+        jobRecordJson(json, result, /*full=*/true);
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+std::vector<FarmJob>
+starterCorpus()
+{
+    static const compress::Scheme schemes[] = {
+        compress::Scheme::Baseline,
+        compress::Scheme::OneByte,
+        compress::Scheme::Nibble,
+    };
+    static const compress::StrategyKind strategies[] = {
+        compress::StrategyKind::Greedy,
+        compress::StrategyKind::IterativeRefit,
+    };
+    std::vector<FarmJob> jobs;
+    for (const std::string &workload : workloads::benchmarkNames()) {
+        for (compress::Scheme scheme : schemes) {
+            for (compress::StrategyKind strategy : strategies) {
+                FarmJob job;
+                job.workload = workload;
+                job.config.scheme = scheme;
+                job.config.strategy = strategy;
+                job.config.maxEntries = 4680; // the ccompress default
+                job.id = workload + "/" +
+                         compress::schemeCliName(scheme) + "/" +
+                         compress::strategyName(strategy);
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+FarmReport
+runFarm(const std::vector<FarmJob> &jobs, const FarmOptions &options)
+{
+    Clock::time_point runStart = Clock::now();
+    FarmReport report;
+    report.cacheEnabled = options.cache;
+    report.poolJobs = globalJobs();
+
+    // Validate the queue before any work starts: a typo'd workload
+    // name should fail the run immediately, not 40 jobs in.
+    const std::vector<std::string> &names = workloads::benchmarkNames();
+    for (const FarmJob &job : jobs) {
+        if (std::find(names.begin(), names.end(), job.workload) ==
+            names.end())
+            CC_FATAL("farm job '", job.id, "': unknown workload '",
+                     job.workload, "'");
+        if (job.scale < 1)
+            CC_FATAL("farm job '", job.id, "': scale must be >= 1, got ",
+                     job.scale);
+    }
+
+    // Build each distinct (workload, scale) program once, in parallel;
+    // its content hash doubles as the cache identity for every job
+    // that compresses it.
+    std::vector<std::pair<std::string, int>> uniques;
+    std::map<std::pair<std::string, int>, size_t> programOf;
+    for (const FarmJob &job : jobs) {
+        auto key = std::make_pair(job.workload, job.scale);
+        if (programOf.emplace(key, uniques.size()).second)
+            uniques.push_back(key);
+    }
+    Clock::time_point buildStart = Clock::now();
+    std::vector<BuiltProgram> built = parallelMap<BuiltProgram>(
+        uniques.size(), [&uniques](size_t i) {
+            BuiltProgram b;
+            b.program = workloads::buildBenchmark(uniques[i].first,
+                                                  uniques[i].second);
+            b.hash = compress::PipelineCache::programHash(b.program);
+            return b;
+        });
+    report.buildMillis = millisSince(buildStart);
+
+    // Shard the queue: one pool task per job, results index-addressed
+    // so the report order is the queue order at any pool width. Each
+    // job's own parallel enumeration nests and therefore runs inline.
+    compress::PipelineCache cache;
+    Clock::time_point compressStart = Clock::now();
+    report.results = parallelMap<FarmJobResult>(
+        jobs.size(), [&](size_t i) {
+            const FarmJob &job = jobs[i];
+            const BuiltProgram &prog =
+                built[programOf.at({job.workload, job.scale})];
+            FarmJobResult result;
+            result.id = job.id;
+            result.workload = job.workload;
+            result.scheme = compress::schemeCliName(job.config.scheme);
+            result.strategy = compress::strategyName(job.config.strategy);
+            Clock::time_point jobStart = Clock::now();
+            try {
+                compress::PipelineContext ctx(prog.program, job.config);
+                if (options.cache) {
+                    ctx.cache = &cache;
+                    ctx.programHash = prog.hash;
+                }
+                result.stats = compress::Pipeline::standard().run(ctx);
+                const compress::CompressedImage &image = ctx.image;
+                result.totalBytes = image.totalBytes();
+                result.textBytes = image.compressedTextBytes();
+                result.dictBytes = image.dictionaryBytes();
+                result.ratio = image.compressionRatio();
+                result.farBranchExpansions = image.farBranchExpansions;
+                std::vector<uint8_t> bytes = saveImage(image);
+                result.imageFnv64 = fnv1a64(bytes);
+                if (options.keepImages)
+                    result.imageBytes = std::move(bytes);
+            } catch (const std::exception &error) {
+                result.error = error.what();
+            }
+            result.millis = millisSince(jobStart);
+            return result;
+        });
+    report.compressMillis = millisSince(compressStart);
+    report.cacheStats = cache.stats();
+    report.wallMillis = millisSince(runStart);
+    return report;
+}
+
+} // namespace codecomp::farm

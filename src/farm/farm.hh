@@ -1,0 +1,129 @@
+/**
+ * @file
+ * ccfarm: a batched, cached multi-program compression service.
+ *
+ * A farm run takes a queue of jobs -- (workload program, compressor
+ * config) pairs -- and produces one aggregated report. The run:
+ *
+ *  - builds each distinct (workload, scale) program exactly once, in
+ *    parallel on the global worker pool;
+ *  - shards the job queue across the same pool (one task per job; a
+ *    job's own candidate enumeration then runs inline, so the pool is
+ *    never re-entered concurrently);
+ *  - deduplicates Enumerate/Select work through a shared PipelineCache
+ *    (compress/cache.hh) keyed by program content hash + config --
+ *    sweeps of one program across schemes and strategies share a
+ *    single candidate enumeration, and duplicate (program, config)
+ *    jobs share the whole selection;
+ *  - streams per-job results (sizes, image bytes + FNV-1a64 digest,
+ *    per-pass PipelineStats) into a FarmReport in job order.
+ *
+ * Output images are bit-identical to the serial single-program path
+ * (compress::compressProgram) for any pool width, cache on or off:
+ * jobs are index-addressed, and both cached stages are deterministic
+ * pure functions of the cache key.
+ *
+ * The starter corpus is the paper's sweep: 8 workloads x 3 schemes x
+ * {greedy, refit} strategies. Larger corpora come from job-spec JSON
+ * files (jobspec.hh).
+ */
+
+#ifndef CODECOMP_FARM_FARM_HH
+#define CODECOMP_FARM_FARM_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compress/cache.hh"
+#include "compress/compressor.hh"
+#include "compress/pipeline.hh"
+
+namespace codecomp::farm {
+
+/** One compression job: which program, compressed how. */
+struct FarmJob
+{
+    std::string id;       //!< report key, e.g. "gcc/nibble/refit"
+    std::string workload; //!< benchmark name (workloads.hh)
+    int scale = 1;        //!< workload generator scale factor
+    compress::CompressorConfig config;
+};
+
+struct FarmOptions
+{
+    bool cache = true; //!< share a PipelineCache across the run
+
+    /** Retain each job's serialized .cci bytes in its result (the
+     *  digest is always computed). */
+    bool keepImages = true;
+};
+
+/** Outcome of one job, in job-queue order in the report. */
+struct FarmJobResult
+{
+    std::string id;
+    std::string workload;
+    std::string scheme;
+    std::string strategy;
+    std::string error; //!< non-empty = the job failed
+
+    std::vector<uint8_t> imageBytes; //!< saveImage() (if keepImages)
+    uint64_t imageFnv64 = 0;         //!< digest of imageBytes
+
+    uint64_t totalBytes = 0;
+    uint64_t textBytes = 0;
+    uint64_t dictBytes = 0;
+    double ratio = 0.0;
+    uint32_t farBranchExpansions = 0;
+
+    compress::PipelineStats stats; //!< per-pass wall time + counters
+    double millis = 0.0;           //!< job wall time (pipeline + save)
+
+    bool ok() const { return error.empty(); }
+};
+
+struct FarmReport
+{
+    std::vector<FarmJobResult> results; //!< one per job, queue order
+    compress::PipelineCache::Stats cacheStats;
+    bool cacheEnabled = true;
+    unsigned poolJobs = 1;          //!< worker-pool width used
+    double buildMillis = 0.0;       //!< program construction wall time
+    double compressMillis = 0.0;    //!< job-queue wall time
+    double wallMillis = 0.0;        //!< whole run
+
+    size_t failures() const;
+
+    /** Sum of per-pass millis across every job, by pass name. */
+    std::vector<std::pair<std::string, double>> passTotals() const;
+
+    /**
+     * The run-invariant half of the report: per-job identity, sizes,
+     * ratio, and image digest -- everything except wall times and
+     * pool/cache configuration. Byte-identical across pool widths and
+     * cache on/off (the farm determinism tests assert exactly this).
+     */
+    std::string resultsJson() const;
+
+    /** The full report: results (with per-job pipeline stats and wall
+     *  times) plus run totals, throughput, and cache counters. */
+    std::string toJson() const;
+};
+
+/** The 8 workloads x 3 schemes x {greedy, refit} starter corpus. */
+std::vector<FarmJob> starterCorpus();
+
+/**
+ * Run @p jobs on the global worker pool and aggregate the results.
+ * Unknown workload names and non-positive scales are catchable fatals
+ * before any work starts; a failure inside one job (e.g. an invalid
+ * config) is captured in that job's result and does not abort the run.
+ */
+FarmReport runFarm(const std::vector<FarmJob> &jobs,
+                   const FarmOptions &options = {});
+
+} // namespace codecomp::farm
+
+#endif // CODECOMP_FARM_FARM_HH

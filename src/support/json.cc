@@ -1,6 +1,8 @@
 #include "support/json.hh"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace codecomp {
 
@@ -114,8 +116,22 @@ JsonWriter &
 JsonWriter::value(double number)
 {
     separate();
+    // JSON has no inf/nan literals; emit null so aggregators see a
+    // well-formed document (a 0-instruction job's CPI, say). Finite
+    // values use round-trip precision so parsing the report recovers
+    // the exact double that was measured.
+    if (!std::isfinite(number)) {
+        out_ += "null";
+        return *this;
+    }
+    // Shortest of %.15g/%.16g/%.17g that parses back to the same bits
+    // (17 significant digits always round-trip an IEEE double).
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", number);
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, number);
+        if (std::strtod(buf, nullptr) == number)
+            break;
+    }
     out_ += buf;
     return *this;
 }
@@ -141,6 +157,14 @@ JsonWriter::value(bool flag)
 {
     separate();
     out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    separate();
+    out_ += json;
     return *this;
 }
 

@@ -39,6 +39,11 @@ class JsonWriter
     JsonWriter &value(int number) { return value(static_cast<int64_t>(number)); }
     JsonWriter &value(bool flag);
 
+    /** Append @p json -- itself a complete serialized JSON value -- as
+     *  the next value (separator handling applied, content verbatim).
+     *  For splicing one writer's document into another. */
+    JsonWriter &raw(std::string_view json);
+
     /** key(name) + value(v) in one call. */
     template <typename V>
     JsonWriter &

@@ -85,8 +85,19 @@ ThreadPool::runBatch(std::vector<std::function<void()>> tasks)
     if (insidePoolTask) {
         // Nested batch from inside a task: the pool is already busy
         // running the outer stage, so execute inline on this thread.
-        for (std::function<void()> &task : tasks)
-            task();
+        // Same completion semantics as the pooled path: every task
+        // runs, the first exception is rethrown once all are done.
+        std::exception_ptr error;
+        for (std::function<void()> &task : tasks) {
+            try {
+                task();
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
         return;
     }
     Batch batch;
@@ -139,8 +150,9 @@ unsigned
 defaultJobs()
 {
     if (const char *env = std::getenv("CODECOMP_JOBS")) {
-        long value = std::strtol(env, nullptr, 10);
-        if (value >= 1)
+        char *end = nullptr;
+        long value = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && value >= 1)
             return static_cast<unsigned>(std::min(value, 256l));
         CC_WARN("ignoring invalid CODECOMP_JOBS='", env, "'");
     }
@@ -163,9 +175,20 @@ globalJobs()
 ThreadPool &
 globalPool()
 {
+    // The farm (and any future concurrent orchestrator) reaches the
+    // global pool from several threads at once; the unique_ptr swap
+    // below would otherwise be a data race and a use-after-free for
+    // threads still draining the old pool.
+    static std::mutex pool_mutex;
     static std::unique_ptr<ThreadPool> pool;
-    if (!pool || pool->threadCount() != globalJobs())
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    if (!pool || pool->threadCount() != globalJobs()) {
+        if (pool && pool->busy())
+            CC_FATAL("cannot resize the global pool from ",
+                     pool->threadCount(), " to ", globalJobs(),
+                     " threads while a batch is in flight");
         pool = std::make_unique<ThreadPool>(globalJobs());
+    }
     return *pool;
 }
 

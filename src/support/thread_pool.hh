@@ -52,6 +52,14 @@ class ThreadPool
     /** Concurrency level (dedicated workers + the submitting thread). */
     unsigned threadCount() const { return workerCount_ + 1; }
 
+    /** True while a batch is being drained. */
+    bool
+    busy()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return current_ != nullptr;
+    }
+
     /**
      * Run every task in @p tasks and wait for all of them. The calling
      * thread participates. If any task throws, the first captured
@@ -98,10 +106,11 @@ void setGlobalJobs(unsigned jobs);
 unsigned globalJobs();
 
 /**
- * The process-wide pool, sized to globalJobs(). Rebuilt when the job
- * count changes; not itself thread-safe to resize concurrently with
- * use (callers orchestrate from one thread, as all tools and benches
- * do).
+ * The process-wide pool, sized to globalJobs(). Safe to call from any
+ * thread: access is serialized internally. Rebuilt when the job count
+ * changed while the pool is idle; a resize attempted while a batch is
+ * in flight is a catchable fatal (call setGlobalJobs before, not
+ * during, a parallel stage).
  */
 ThreadPool &globalPool();
 

@@ -9,7 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "support/bitstream.hh"
 #include "support/json.hh"
@@ -213,6 +217,98 @@ TEST(ThreadPool, JobsKnobPriorities)
     EXPECT_GE(globalJobs(), 1u);
 }
 
+TEST(ThreadPool, EnvJobsRejectsTrailingGarbage)
+{
+    // CODECOMP_JOBS must be a whole positive integer; "8abc" used to
+    // be silently accepted as 8 (strtol without an end check).
+    ::unsetenv("CODECOMP_JOBS");
+    unsigned fallback = defaultJobs();
+    unsigned want = fallback == 7 ? 9u : 7u;
+
+    ::setenv("CODECOMP_JOBS", std::to_string(want).c_str(), 1);
+    EXPECT_EQ(defaultJobs(), want);
+
+    std::string garbage = std::to_string(want) + "abc";
+    ::setenv("CODECOMP_JOBS", garbage.c_str(), 1);
+    EXPECT_EQ(defaultJobs(), fallback);
+
+    for (const char *bad : {"abc", "-3", "0", ""}) {
+        ::setenv("CODECOMP_JOBS", bad, 1);
+        EXPECT_EQ(defaultJobs(), fallback) << "CODECOMP_JOBS=" << bad;
+    }
+
+    ::setenv("CODECOMP_JOBS", "9999", 1);
+    EXPECT_EQ(defaultJobs(), 256u); // clamped, like setGlobalJobs
+    ::unsetenv("CODECOMP_JOBS");
+}
+
+TEST(ThreadPool, NestedRunBatchRunsAllTasksThenRethrows)
+{
+    // The nested-inline path must have the same completion semantics
+    // as the pooled path: every task runs, then the first exception is
+    // rethrown. It used to stop at the first throwing task.
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    bool innerThrew = false;
+    pool.runBatch({[&pool, &completed, &innerThrew] {
+        std::vector<std::function<void()>> inner;
+        for (int i = 0; i < 8; ++i)
+            inner.push_back([&completed, i] {
+                if (i == 2)
+                    throw std::runtime_error("inner task 2");
+                completed++;
+            });
+        try {
+            pool.runBatch(std::move(inner));
+        } catch (const std::runtime_error &) {
+            innerThrew = true;
+        }
+    }});
+    EXPECT_TRUE(innerThrew);
+    EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(GlobalPool, ConcurrentAccessIsSerialized)
+{
+    // Many threads hitting globalPool() while it needs a rebuild: the
+    // unique_ptr swap used to be unsynchronized (a data race and a
+    // use-after-free under a sanitizer).
+    setGlobalJobs(3);
+    globalPool();
+    setGlobalJobs(4); // the next access must rebuild, exactly once
+    std::atomic<int> correct{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&correct] {
+            for (int i = 0; i < 200; ++i)
+                if (globalPool().threadCount() == 4u)
+                    correct++;
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(correct.load(), 8 * 200);
+    setGlobalJobs(0);
+}
+
+TEST(GlobalPool, ResizeWhileBusyIsCatchableFatal)
+{
+    // Rebuilding the pool out from under a draining batch would be a
+    // use-after-free; it must refuse loudly instead.
+    setGlobalJobs(2);
+    globalPool();
+    EXPECT_THROW(globalPool().parallelFor(
+                     4,
+                     [](size_t i) {
+                         if (i == 0) {
+                             setGlobalJobs(3);
+                             globalPool();
+                         }
+                     }),
+                 std::runtime_error);
+    setGlobalJobs(0);
+    EXPECT_GE(globalPool().threadCount(), 1u); // idle: rebuild is fine
+}
+
 TEST(Rng, DeterministicAcrossInstances)
 {
     Rng a(42), b(42);
@@ -288,6 +384,59 @@ TEST(JsonWriter, EscapesStrings)
     json.member("k\"ey", "v\nal");
     json.endObject();
     EXPECT_EQ(json.str(), "{\"k\\\"ey\":\"v\\nal\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesAreNull)
+{
+    // JSON has no inf/nan literals; "%g" used to emit them verbatim,
+    // producing unparseable documents.
+    JsonWriter json;
+    json.beginArray();
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(-std::numeric_limits<double>::infinity());
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.value(1.5);
+    json.endArray();
+    EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly)
+{
+    // Round-trip precision: parsing the emitted text recovers the
+    // exact double (the old %.6g lost up to 11 significant digits).
+    const double values[] = {0.1,
+                             1.0 / 3.0,
+                             6.62607015e-34,
+                             1e300,
+                             123456789.123456789,
+                             -2.2250738585072014e-308};
+    for (double v : values) {
+        JsonWriter json;
+        json.value(v);
+        EXPECT_EQ(std::strtod(json.str().c_str(), nullptr), v)
+            << json.str();
+    }
+    // Values that fit in fewer digits stay short.
+    JsonWriter json;
+    json.value(0.5);
+    EXPECT_EQ(json.str(), "0.5");
+}
+
+TEST(JsonWriter, RawSplicesSerializedValues)
+{
+    JsonWriter inner;
+    inner.beginObject();
+    inner.member("x", 1);
+    inner.endObject();
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("a", true);
+    json.key("inner");
+    json.raw(inner.str());
+    json.member("b", 2);
+    json.endObject();
+    EXPECT_EQ(json.str(), "{\"a\":true,\"inner\":{\"x\":1},\"b\":2}");
 }
 
 } // namespace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * ccfarm -- run a queue of compression jobs as one batched, cached,
+ * parallel farm run and aggregate the results into one report.
+ *
+ *   ccfarm [--spec jobs.json]
+ *          [--workloads a,b,...] [--schemes x,y] [--strategies s,t]
+ *          [--jobs N] [--no-cache] [--report out.json]
+ *          [--images outdir/] [--list]
+ *
+ * Without --spec the queue is the starter corpus (all 8 workloads x 3
+ * schemes x {greedy, refit}), optionally narrowed by the --workloads /
+ * --schemes / --strategies comma lists. With --spec the queue comes
+ * from a job-spec JSON file (src/farm/jobspec.hh) and the narrowing
+ * flags are rejected.
+ *
+ * --images writes each job's .cci image into the directory (job ids
+ * with '/' becoming '-'); the images are bit-identical to what serial
+ * ccompress produces for the same program and config, at any --jobs
+ * and with the cache on or off. --report writes the full aggregated
+ * JSON report; stdout always carries a human summary.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "compress/encoding.hh"
+#include "compress/strategy.hh"
+#include "farm/farm.hh"
+#include "farm/jobspec.hh"
+#include "support/serialize.hh"
+#include "support/thread_pool.hh"
+#include "workloads/workloads.hh"
+#include "tool_common.hh"
+
+using namespace codecomp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ccfarm [--spec jobs.json] [--workloads a,b,...] "
+                 "[--schemes baseline,onebyte,nibble] "
+                 "[--strategies greedy,reference,refit] [--jobs N] "
+                 "[--no-cache] [--report out.json] [--images outdir/] "
+                 "[--list]\n");
+    return tools::exitUserError;
+}
+
+int
+badArg(const std::string &message)
+{
+    std::fprintf(stderr, "ccfarm: %s\n", message.c_str());
+    return tools::exitUserError;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> items;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            items.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return items;
+}
+
+/** "gcc/nibble/refit" -> "gcc-nibble-refit.cci". */
+std::string
+imageFileName(const std::string &id)
+{
+    std::string name = id;
+    for (char &c : name)
+        if (c == '/')
+            c = '-';
+    return name + ".cci";
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string specPath;
+    std::string reportPath;
+    std::string imagesDir;
+    std::vector<std::string> workloadFilter;
+    std::vector<std::string> schemeFilter;
+    std::vector<std::string> strategyFilter;
+    bool list = false;
+    farm::FarmOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--spec" && i + 1 < argc) {
+            specPath = argv[++i];
+        } else if (arg == "--workloads" && i + 1 < argc) {
+            workloadFilter = splitList(argv[++i]);
+        } else if (arg == "--schemes" && i + 1 < argc) {
+            schemeFilter = splitList(argv[++i]);
+        } else if (arg == "--strategies" && i + 1 < argc) {
+            strategyFilter = splitList(argv[++i]);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            int jobs = std::atoi(argv[++i]);
+            if (jobs < 1)
+                return badArg("--jobs must be at least 1");
+            setGlobalJobs(static_cast<unsigned>(jobs));
+        } else if (arg == "--no-cache") {
+            options.cache = false;
+        } else if (arg == "--report" && i + 1 < argc) {
+            reportPath = argv[++i];
+        } else if (arg == "--images" && i + 1 < argc) {
+            imagesDir = argv[++i];
+        } else if (arg == "--list") {
+            list = true;
+        } else {
+            return usage();
+        }
+    }
+
+    // Assemble the queue: a spec file, or the (filtered) starter corpus.
+    std::vector<farm::FarmJob> jobs;
+    if (!specPath.empty()) {
+        if (!workloadFilter.empty() || !schemeFilter.empty() ||
+            !strategyFilter.empty())
+            return badArg("--spec and the --workloads/--schemes/"
+                          "--strategies filters are mutually exclusive");
+        std::vector<uint8_t> bytes = readFile(specPath);
+        jobs = farm::parseJobSpec(
+            std::string(bytes.begin(), bytes.end()));
+    } else {
+        // Validate the filters up front so a typo is a usage error,
+        // not an empty run.
+        for (const std::string &name : schemeFilter)
+            if (!compress::parseSchemeName(name))
+                return badArg("unknown scheme '" + name +
+                              "' (expected baseline, onebyte, or "
+                              "nibble)");
+        for (const std::string &name : strategyFilter)
+            if (!compress::parseStrategyName(name))
+                return badArg("unknown strategy '" + name +
+                              "' (expected greedy, reference, or "
+                              "refit)");
+        const std::vector<std::string> &known =
+            workloads::benchmarkNames();
+        for (const std::string &name : workloadFilter)
+            if (std::find(known.begin(), known.end(), name) ==
+                known.end())
+                return badArg("unknown workload '" + name + "'");
+        auto keep = [](const std::vector<std::string> &filter,
+                       const std::string &value) {
+            return filter.empty() ||
+                   std::find(filter.begin(), filter.end(), value) !=
+                       filter.end();
+        };
+        for (farm::FarmJob &job : farm::starterCorpus()) {
+            if (keep(workloadFilter, job.workload) &&
+                keep(schemeFilter,
+                     compress::schemeCliName(job.config.scheme)) &&
+                keep(strategyFilter,
+                     compress::strategyName(job.config.strategy)))
+                jobs.push_back(std::move(job));
+        }
+    }
+    if (jobs.empty())
+        return badArg("the job queue is empty");
+
+    if (list) {
+        for (const farm::FarmJob &job : jobs)
+            std::printf("%s\n", job.id.c_str());
+        return tools::exitOk;
+    }
+
+    options.keepImages = !imagesDir.empty();
+    farm::FarmReport report = farm::runFarm(jobs, options);
+
+    if (!imagesDir.empty()) {
+        std::filesystem::create_directories(imagesDir);
+        for (const farm::FarmJobResult &result : report.results)
+            if (result.ok())
+                writeFile((std::filesystem::path(imagesDir) /
+                           imageFileName(result.id))
+                              .string(),
+                          result.imageBytes);
+    }
+    if (!reportPath.empty()) {
+        std::string json = report.toJson() + "\n";
+        writeFile(reportPath,
+                  std::vector<uint8_t>(json.begin(), json.end()));
+    }
+
+    for (const farm::FarmJobResult &result : report.results) {
+        if (!result.ok()) {
+            std::fprintf(stderr, "ccfarm: %s: %s\n", result.id.c_str(),
+                         result.error.c_str());
+            continue;
+        }
+        std::printf("%-28s %8llu bytes  ratio %5.1f%%  %7.1f ms\n",
+                    result.id.c_str(),
+                    static_cast<unsigned long long>(result.totalBytes),
+                    result.ratio * 100, result.millis);
+    }
+    const compress::PipelineCache::Stats &cs = report.cacheStats;
+    std::printf("%zu jobs (%zu failed) on %u workers in %.1f ms "
+                "(%.1f jobs/s)\n",
+                report.results.size(), report.failures(),
+                report.poolJobs, report.wallMillis,
+                report.compressMillis > 0.0
+                    ? 1000.0 *
+                          static_cast<double>(report.results.size()) /
+                          report.compressMillis
+                    : 0.0);
+    std::printf("cache: %s, enumerate %llu hit / %llu miss, select "
+                "%llu hit / %llu miss\n",
+                report.cacheEnabled ? "on" : "off",
+                static_cast<unsigned long long>(cs.enumHits),
+                static_cast<unsigned long long>(cs.enumMisses),
+                static_cast<unsigned long long>(cs.selectHits),
+                static_cast<unsigned long long>(cs.selectMisses));
+    return report.failures() == 0 ? tools::exitOk
+                                  : tools::exitUserError;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return tools::runTool("ccfarm", [&] { return run(argc, argv); });
+}

@@ -158,16 +158,12 @@ run(int argc, char **argv)
             output = argv[++i];
         } else if (arg == "--scheme" && i + 1 < argc) {
             std::string scheme = argv[++i];
-            if (scheme == "baseline")
-                config.scheme = compress::Scheme::Baseline;
-            else if (scheme == "onebyte")
-                config.scheme = compress::Scheme::OneByte;
-            else if (scheme == "nibble")
-                config.scheme = compress::Scheme::Nibble;
-            else
+            auto kind = compress::parseSchemeName(scheme);
+            if (!kind)
                 return badArg("unknown scheme '%s' (expected baseline, "
                               "onebyte, or nibble)",
                               scheme.c_str());
+            config.scheme = *kind;
         } else if (arg == "--strategy" && i + 1 < argc) {
             std::string name = argv[++i];
             auto kind = compress::parseStrategyName(name);
