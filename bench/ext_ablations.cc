@@ -126,21 +126,21 @@ main()
     }
 
     banner("Ablation A3", "far-branch stub rewrites per scheme");
-    std::printf("%-9s %10s %10s %10s\n", "bench", "baseline", "1-byte",
-                "nibble");
+    std::printf("%-9s", "bench");
+    for (const SchemeCodec *codec : allCodecs())
+        std::printf(" %10s", std::string(codec->cliName()).c_str());
+    std::printf("\n");
     for (const auto &[name, program] : buildSuite()) {
-        uint32_t counts[3];
-        int i = 0;
-        for (Scheme scheme :
-             {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+        std::printf("%-9s", name.c_str());
+        for (const SchemeCodec *codec : allCodecs()) {
             CompressorConfig config;
-            config.scheme = scheme;
-            config.maxEntries = 8192;
-            counts[i++] =
-                compressProgram(program, config).farBranchExpansions;
+            config.scheme = codec->id();
+            config.maxEntries = codec->params().maxCodewords;
+            std::printf(" %10u",
+                        compressProgram(program, config)
+                            .farBranchExpansions);
         }
-        std::printf("%-9s %10u %10u %10u\n", name.c_str(), counts[0],
-                    counts[1], counts[2]);
+        std::printf("\n");
     }
     std::printf("note: 0 everywhere means every branch kept offset range "
                 "at finer granularity (programs well under the 14-bit "

@@ -121,13 +121,10 @@ sweepWorkload(const std::string &name, const Program &program)
     for (size_t i = 0; i < numCaches; ++i)
         result.native[i] = timers[i].report();
 
-    const compress::Scheme schemes[] = {compress::Scheme::Baseline,
-                                        compress::Scheme::OneByte,
-                                        compress::Scheme::Nibble};
     const compress::StrategyKind strategies[] = {
         compress::StrategyKind::Greedy,
         compress::StrategyKind::IterativeRefit};
-    for (compress::Scheme scheme : schemes) {
+    for (compress::Scheme scheme : compress::allSchemes()) {
         for (compress::StrategyKind strategy : strategies) {
             compress::CompressorConfig config;
             config.scheme = scheme;

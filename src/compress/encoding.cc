@@ -2,21 +2,13 @@
 
 #include <array>
 
+#include "compress/nibble_geometry.hh"
 #include "isa/isa.hh"
 #include "support/logging.hh"
 
 namespace codecomp::compress {
 
 namespace {
-
-/** Rank boundaries for the nibble scheme's codeword classes. */
-constexpr uint32_t nib4Count = 8;
-constexpr uint32_t nib8Count = 4 * 16;         // first nibble 8..11
-constexpr uint32_t nib12Count = 2 * 256;       // first nibble 12..13
-constexpr uint32_t nib16Count = 1 * 4096;      // first nibble 14
-constexpr uint32_t nibTotal =
-    nib4Count + nib8Count + nib12Count + nib16Count; // 4680
-constexpr uint8_t nibEscape = 15;
 
 /** Escape byte for 5-bit codeword group @p group (0..31): the high six
  *  bits are one of the eight illegal primary opcodes. */
@@ -68,33 +60,6 @@ escapeGroup(uint8_t byte)
     return static_cast<uint32_t>(group);
 }
 
-/** Nibble scheme: the first nibble alone classifies the item
- *  (Figure 10); entries 16..255 are unreachable (a 1-nibble prefix
- *  can only index 0..15). */
-constexpr DecodeTables
-buildNibbleTables()
-{
-    DecodeTables tables{};
-    tables.prefixNibbles = 1;
-    for (uint32_t n0 = 0; n0 < 16; ++n0) {
-        ItemClass &cls = tables.classes[n0];
-        if (n0 < 8) {
-            cls = {1, 1, 0, 0, n0};
-        } else if (n0 < 12) {
-            cls = {2, 1, 1, 0, nib4Count + (n0 - 8) * 16};
-        } else if (n0 < 14) {
-            cls = {3, 1, 2, 0, nib4Count + nib8Count + (n0 - 12) * 256};
-        } else if (n0 == 14) {
-            cls = {4, 1, 3, 0, nib4Count + nib8Count + nib12Count};
-        } else {
-            // Escape: the nibble is consumed, an 8-nibble instruction
-            // follows (no rewind -- decodeCodeword eats the escape).
-            cls = {9, 0, 0, 0, 0};
-        }
-    }
-    return tables;
-}
-
 /** Baseline / OneByte: the first byte classifies -- an illegal primary
  *  opcode marks a codeword, any legal byte begins a plain instruction
  *  (which decodeCodeword pushes back whole, hence the 2-nibble
@@ -117,152 +82,67 @@ buildByteEscapeTables(bool baseline)
     return tables;
 }
 
-constexpr DecodeTables nibbleTables = buildNibbleTables();
+constexpr DecodeTables nibbleTables =
+    nibgeom::buildTables(/*insnNibbles=*/9);
 constexpr DecodeTables baselineTables = buildByteEscapeTables(true);
 constexpr DecodeTables oneByteTables = buildByteEscapeTables(false);
 
-} // namespace
-
-const DecodeTables &
-decodeTables(Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Baseline:
-        return baselineTables;
-      case Scheme::OneByte:
-        return oneByteTables;
-      case Scheme::Nibble:
-        return nibbleTables;
-    }
-    CC_PANIC("bad scheme");
-}
-
-SchemeParams
-schemeParams(Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Baseline:
-        // Codewords are 2-byte aligned; instructions cost 8 nibbles.
-        return {4, 8, 8192, 4};
-      case Scheme::OneByte:
-        return {2, 8, 32, 2};
-      case Scheme::Nibble:
-        // Everything is nibble-aligned; instructions pay a 1-nibble
-        // escape, and the assumed selection cost is 2 nibbles.
-        return {1, 9, nibTotal, 2};
-    }
-    CC_PANIC("bad scheme");
-}
-
-unsigned
-codewordNibbles(Scheme scheme, uint32_t rank)
-{
-    switch (scheme) {
-      case Scheme::Baseline:
-        CC_ASSERT(rank < 8192, "baseline rank range");
-        return 4;
-      case Scheme::OneByte:
-        CC_ASSERT(rank < 32, "one-byte rank range");
-        return 2;
-      case Scheme::Nibble:
-        if (rank < nib4Count)
-            return 1;
-        if (rank < nib4Count + nib8Count)
-            return 2;
-        if (rank < nib4Count + nib8Count + nib12Count)
-            return 3;
-        CC_ASSERT(rank < nibTotal, "nibble rank range");
-        return 4;
-    }
-    CC_PANIC("bad scheme");
-}
-
+/** Shared by Baseline and OneByte: a plain instruction is emitted
+ *  verbatim, so its first byte must not alias an escape byte. */
 void
-emitCodeword(NibbleWriter &writer, Scheme scheme, uint32_t rank)
+emitByteSchemeInstruction(NibbleWriter &writer, isa::Word word)
 {
-    switch (scheme) {
-      case Scheme::Baseline: {
-        CC_ASSERT(rank < 8192, "baseline rank range");
-        writer.putNibbles(escapeByte(rank / 256), 2);
-        writer.putNibbles(rank % 256, 2);
-        return;
-      }
-      case Scheme::OneByte:
-        CC_ASSERT(rank < 32, "one-byte rank range");
-        writer.putNibbles(escapeByte(rank), 2);
-        return;
-      case Scheme::Nibble: {
-        if (rank < nib4Count) {
-            writer.putNibble(static_cast<uint8_t>(rank));
-            return;
-        }
-        if (rank < nib4Count + nib8Count) {
-            uint32_t v = rank - nib4Count;
-            writer.putNibble(static_cast<uint8_t>(8 + v / 16));
-            writer.putNibble(static_cast<uint8_t>(v % 16));
-            return;
-        }
-        if (rank < nib4Count + nib8Count + nib12Count) {
-            uint32_t v = rank - nib4Count - nib8Count;
-            writer.putNibble(static_cast<uint8_t>(12 + v / 256));
-            writer.putNibbles(v % 256, 2);
-            return;
-        }
-        CC_ASSERT(rank < nibTotal, "nibble rank range");
-        uint32_t v = rank - nib4Count - nib8Count - nib12Count;
-        writer.putNibble(14);
-        writer.putNibbles(v, 3);
-        return;
-      }
-    }
-    CC_PANIC("bad scheme");
-}
-
-void
-emitInstruction(NibbleWriter &writer, Scheme scheme, uint32_t word)
-{
-    if (scheme == Scheme::Nibble)
-        writer.putNibble(nibEscape);
-    else
-        CC_ASSERT(!isa::isIllegalPrimOp(isa::primOpOf(word)),
-                  "illegal opcode would alias an escape byte");
+    CC_ASSERT(!isa::isIllegalPrimOp(isa::primOpOf(word)),
+              "illegal opcode would alias an escape byte");
     writer.putWord(word);
 }
 
-std::optional<uint32_t>
-decodeCodeword(NibbleReader &reader, Scheme scheme)
+class BaselineCodec final : public SchemeCodec
 {
-    const DecodeTables &tables = decodeTables(scheme);
-    const ItemClass &cls =
-        tables.classes[reader.getNibbles(tables.prefixNibbles)];
-    if (!cls.isCodeword) {
-        reader.seek(reader.pos() - cls.rewindNibbles);
-        return std::nullopt;
+  public:
+    Scheme id() const override { return Scheme::Baseline; }
+    const char *name() const override { return "baseline-2byte"; }
+    const char *cliName() const override { return "baseline"; }
+    const char *
+    summary() const override
+    {
+        return "2-byte escape+index codewords, up to 8192 entries "
+               "(paper 4.1)";
     }
-    uint32_t index =
-        cls.indexNibbles ? reader.getNibbles(cls.indexNibbles) : 0;
-    return cls.rankBase + index;
-}
 
-std::optional<unsigned>
-peekItemNibbles(NibbleReader reader, Scheme scheme)
-{
-    const DecodeTables &tables = decodeTables(scheme);
-    size_t remaining = reader.size() - reader.pos();
-    if (remaining < tables.prefixNibbles)
-        return std::nullopt;
-    const ItemClass &cls =
-        tables.classes[reader.getNibbles(tables.prefixNibbles)];
-    if (cls.nibbles > remaining)
-        return std::nullopt;
-    return cls.nibbles;
-}
+    SchemeParams
+    params() const override
+    {
+        // Codewords are 2-byte aligned; instructions cost 8 nibbles.
+        return {4, 8, 8192, 4};
+    }
 
-std::optional<uint32_t>
-referenceDecodeCodeword(NibbleReader &reader, Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Baseline: {
+    const DecodeTables &tables() const override { return baselineTables; }
+
+    unsigned
+    codewordNibbles(uint32_t rank) const override
+    {
+        CC_ASSERT(rank < 8192, "baseline rank range");
+        return 4;
+    }
+
+    void
+    emitCodeword(NibbleWriter &writer, uint32_t rank) const override
+    {
+        CC_ASSERT(rank < 8192, "baseline rank range");
+        writer.putNibbles(escapeByte(rank / 256), 2);
+        writer.putNibbles(rank % 256, 2);
+    }
+
+    void
+    emitInstruction(NibbleWriter &writer, isa::Word word) const override
+    {
+        emitByteSchemeInstruction(writer, word);
+    }
+
+    std::optional<uint32_t>
+    referenceDecodeCodeword(NibbleReader &reader) const override
+    {
         uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
         auto group = escapeGroup(first);
         if (!group) {
@@ -271,8 +151,72 @@ referenceDecodeCodeword(NibbleReader &reader, Scheme scheme)
         }
         uint32_t index = reader.getNibbles(2);
         return *group * 256 + index;
-      }
-      case Scheme::OneByte: {
+    }
+
+    std::optional<unsigned>
+    referencePeekItemNibbles(NibbleReader reader) const override
+    {
+        size_t remaining = reader.size() - reader.pos();
+        if (remaining < 2)
+            return std::nullopt;
+        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
+        unsigned need = escapeGroup(first) ? 4u : 8u;
+        if (need > remaining)
+            return std::nullopt;
+        return need;
+    }
+
+    EmitAccounting
+    codewordAccounting(uint32_t) const override
+    {
+        // The escape byte is overhead, the index byte is payload.
+        EmitAccounting accounting;
+        accounting.escapeNibbles = 2;
+        accounting.codewordNibbles = 2;
+        return accounting;
+    }
+};
+
+class OneByteCodec final : public SchemeCodec
+{
+  public:
+    Scheme id() const override { return Scheme::OneByte; }
+    const char *name() const override { return "one-byte"; }
+    const char *cliName() const override { return "onebyte"; }
+    const char *
+    summary() const override
+    {
+        return "1-byte escape-only codewords, up to 32 entries "
+               "(paper 4.1.2)";
+    }
+
+    SchemeParams params() const override { return {2, 8, 32, 2}; }
+
+    const DecodeTables &tables() const override { return oneByteTables; }
+
+    unsigned
+    codewordNibbles(uint32_t rank) const override
+    {
+        CC_ASSERT(rank < 32, "one-byte rank range");
+        return 2;
+    }
+
+    void
+    emitCodeword(NibbleWriter &writer, uint32_t rank) const override
+    {
+        CC_ASSERT(rank < 32, "one-byte rank range");
+        writer.putNibbles(escapeByte(rank), 2);
+    }
+
+    void
+    emitInstruction(NibbleWriter &writer, isa::Word word) const override
+    {
+        emitByteSchemeInstruction(writer, word);
+    }
+
+    std::optional<uint32_t>
+    referenceDecodeCodeword(NibbleReader &reader) const override
+    {
         uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
         auto group = escapeGroup(first);
         if (!group) {
@@ -280,103 +224,97 @@ referenceDecodeCodeword(NibbleReader &reader, Scheme scheme)
             return std::nullopt;
         }
         return *group;
-      }
-      case Scheme::Nibble: {
-        uint8_t n0 = reader.getNibble();
-        if (n0 < 8)
-            return n0;
-        if (n0 < 12)
-            return nib4Count + (n0 - 8u) * 16 + reader.getNibble();
-        if (n0 < 14)
-            return nib4Count + nib8Count + (n0 - 12u) * 256 +
-                   reader.getNibbles(2);
-        if (n0 == 14)
-            return nib4Count + nib8Count + nib12Count +
-                   reader.getNibbles(3);
-        return std::nullopt; // escape: instruction follows
-      }
     }
-    CC_PANIC("bad scheme");
-}
 
-std::optional<unsigned>
-referencePeekItemNibbles(NibbleReader reader, Scheme scheme)
-{
-    size_t remaining = reader.size() - reader.pos();
-    auto fits = [&](unsigned need) -> std::optional<unsigned> {
+    std::optional<unsigned>
+    referencePeekItemNibbles(NibbleReader reader) const override
+    {
+        size_t remaining = reader.size() - reader.pos();
+        if (remaining < 2)
+            return std::nullopt;
+        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
+        unsigned need = escapeGroup(first) ? 2u : 8u;
         if (need > remaining)
             return std::nullopt;
         return need;
-    };
-    switch (scheme) {
-      case Scheme::Baseline: {
-        if (remaining < 2)
-            return std::nullopt;
-        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
-        return fits(escapeGroup(first) ? 4u : 8u);
-      }
-      case Scheme::OneByte: {
-        if (remaining < 2)
-            return std::nullopt;
-        uint8_t first = static_cast<uint8_t>(reader.getNibbles(2));
-        return fits(escapeGroup(first) ? 2u : 8u);
-      }
-      case Scheme::Nibble: {
-        if (remaining < 1)
-            return std::nullopt;
-        uint8_t n0 = reader.getNibble();
-        if (n0 < 8)
-            return fits(1);
-        if (n0 < 12)
-            return fits(2);
-        if (n0 < 14)
-            return fits(3);
-        if (n0 == 14)
-            return fits(4);
-        return fits(9); // escape nibble + 8-nibble instruction
-      }
     }
-    CC_PANIC("bad scheme");
+};
+
+class NibbleCodec final : public SchemeCodec
+{
+  public:
+    Scheme id() const override { return Scheme::Nibble; }
+    const char *name() const override { return "nibble-aligned"; }
+    const char *cliName() const override { return "nibble"; }
+    const char *
+    summary() const override
+    {
+        return "4/8/12/16-bit nibble-aligned codewords, up to 4680 "
+               "entries (paper 4.1.3)";
+    }
+
+    SchemeParams
+    params() const override
+    {
+        // Everything is nibble-aligned; instructions pay a 1-nibble
+        // escape, and the assumed selection cost is 2 nibbles.
+        return {1, 9, nibgeom::totalCodewords, 2};
+    }
+
+    const DecodeTables &tables() const override { return nibbleTables; }
+
+    unsigned
+    codewordNibbles(uint32_t rank) const override
+    {
+        return nibgeom::codewordNibbles(rank);
+    }
+
+    void
+    emitCodeword(NibbleWriter &writer, uint32_t rank) const override
+    {
+        nibgeom::emitCodeword(writer, rank);
+    }
+
+    void
+    emitInstruction(NibbleWriter &writer, isa::Word word) const override
+    {
+        nibgeom::emitInstruction(writer, word);
+    }
+
+    std::optional<uint32_t>
+    referenceDecodeCodeword(NibbleReader &reader) const override
+    {
+        return nibgeom::referenceDecodeCodeword(reader);
+    }
+
+    std::optional<unsigned>
+    referencePeekItemNibbles(NibbleReader reader) const override
+    {
+        return nibgeom::referencePeekItemNibbles(reader);
+    }
+};
+
+} // namespace
+
+const SchemeCodec &
+baselineCodec()
+{
+    static const BaselineCodec codec;
+    return codec;
 }
 
-const char *
-schemeName(Scheme scheme)
+const SchemeCodec &
+oneByteCodec()
 {
-    switch (scheme) {
-      case Scheme::Baseline:
-        return "baseline-2byte";
-      case Scheme::OneByte:
-        return "one-byte";
-      case Scheme::Nibble:
-        return "nibble-aligned";
-    }
-    return "?";
+    static const OneByteCodec codec;
+    return codec;
 }
 
-const char *
-schemeCliName(Scheme scheme)
+const SchemeCodec &
+nibbleCodec()
 {
-    switch (scheme) {
-      case Scheme::Baseline:
-        return "baseline";
-      case Scheme::OneByte:
-        return "onebyte";
-      case Scheme::Nibble:
-        return "nibble";
-    }
-    return "?";
-}
-
-std::optional<Scheme>
-parseSchemeName(std::string_view name)
-{
-    if (name == "baseline")
-        return Scheme::Baseline;
-    if (name == "onebyte")
-        return Scheme::OneByte;
-    if (name == "nibble")
-        return Scheme::Nibble;
-    return std::nullopt;
+    static const NibbleCodec codec;
+    return codec;
 }
 
 } // namespace codecomp::compress

@@ -1,8 +1,7 @@
 /**
  * @file
- * Codeword encodings for compressed programs.
- *
- * Three schemes from the paper:
+ * The paper's three codeword encodings, as registered codecs
+ * (compress/codec.hh):
  *
  *  - Baseline (section 4.1): 2-byte codewords. The first byte is an
  *    escape byte built from one of the 8 illegal primary opcodes plus
@@ -14,121 +13,27 @@
  *    the 32 escape bytes alone; dictionaries of 8/16/32 entries.
  *
  *  - Nibble (section 4.1.3, Figure 10): variable-length codewords of
- *    4/8/12/16 bits, 4-bit aligned. First-nibble classes: 0-7 ->
- *    4-bit codeword (8), 8-11 -> 8-bit (64), 12-13 -> 12-bit (512),
- *    14 -> 16-bit (4096), 15 -> escape preceding an uncompressed
- *    32-bit instruction. 4680 codewords total; the most frequent
- *    entries get the shortest codewords.
+ *    4/8/12/16 bits, 4-bit aligned (geometry in nibble_geometry.hh).
+ *    4680 codewords total; the most frequent entries get the shortest
+ *    codewords.
  *
  * Codewords address dictionary entries by *rank* (frequency order).
+ * The Scheme enum, SchemeParams, decode-table types, and the
+ * registry-backed free functions all live in compress/codec.hh.
  */
 
 #ifndef CODECOMP_COMPRESS_ENCODING_HH
 #define CODECOMP_COMPRESS_ENCODING_HH
 
-#include <array>
-#include <cstdint>
-#include <optional>
-#include <string_view>
-
-#include "support/bitstream.hh"
+#include "compress/codec.hh"
 
 namespace codecomp::compress {
 
-enum class Scheme : uint8_t {
-    Baseline, //!< 2-byte escape + index codewords
-    OneByte,  //!< 1-byte escape-only codewords
-    Nibble,   //!< 4/8/12/16-bit nibble-aligned codewords
-};
-
-/** Static parameters of one scheme. */
-struct SchemeParams
-{
-    unsigned unitNibbles;  //!< branch-target granularity (paper 3.2.2)
-    unsigned insnNibbles;  //!< stream cost of an uncompressed instruction
-    unsigned maxCodewords;
-    unsigned defaultAssumedCodewordNibbles; //!< greedy cost model input
-};
-
-SchemeParams schemeParams(Scheme scheme);
-
-/** Size in nibbles of the codeword for dictionary rank @p rank. */
-unsigned codewordNibbles(Scheme scheme, uint32_t rank);
-
-/** Append the codeword for @p rank. */
-void emitCodeword(NibbleWriter &writer, Scheme scheme, uint32_t rank);
-
-/** Append one uncompressed instruction (with escape under Nibble). */
-void emitInstruction(NibbleWriter &writer, Scheme scheme, uint32_t word);
-
-/**
- * Classification of one stream item by its leading prefix nibbles.
- * Every decode decision of a scheme -- item length, codeword vs raw
- * instruction, and where the rank index sits -- is a pure function of
- * the first prefixNibbles of the item, so it can be precomputed into a
- * 256-entry table and the decoder reduced to one indexed load plus
- * shift/mask field extraction (DESIGN.md section 10).
- */
-struct ItemClass
-{
-    uint8_t nibbles;       //!< total item length, escape included
-    uint8_t isCodeword;    //!< 1 = codeword, 0 = uncompressed inst
-    uint8_t indexNibbles;  //!< rank-index nibbles after the prefix
-    uint8_t rewindNibbles; //!< nibbles to push back for non-codewords
-    uint32_t rankBase;     //!< rank = rankBase + index
-};
-
-/** Per-scheme decode tables: the item class for every possible value
- *  of the leading prefix (one nibble under Nibble, one byte under
- *  Baseline/OneByte; single-nibble prefixes use entries 0..15). */
-struct DecodeTables
-{
-    unsigned prefixNibbles;
-    std::array<ItemClass, 256> classes;
-};
-
-/** The precomputed (constexpr) decode tables for @p scheme. */
-const DecodeTables &decodeTables(Scheme scheme);
-
-/**
- * Decode the item at the reader's cursor: a codeword rank, or
- * std::nullopt for an uncompressed instruction (whose 32-bit word is
- * then read with reader.getWord()). Mirrors the hardware decode rule:
- * under Baseline/OneByte an illegal primary opcode in the first byte
- * marks a codeword; under Nibble the first nibble classifies.
- * Table-driven; referenceDecodeCodeword is the checkable original.
- */
-std::optional<uint32_t> decodeCodeword(NibbleReader &reader, Scheme scheme);
-
-/**
- * Nibble length of the item starting at @p reader's cursor (escape
- * included), or std::nullopt if the remaining stream cannot hold the
- * whole item. Pure lookahead (the reader is taken by value); the image
- * validator and the engine's scan use it to classify truncated streams
- * before decodeCodeword would read off the end.
- */
-std::optional<unsigned> peekItemNibbles(NibbleReader reader, Scheme scheme);
-
-/**
- * The original cascaded-branch decoders, kept verbatim as the reference
- * the table-driven fast path is verified against (golden-checksum
- * suite, DecodePath::Reference engine scans). Semantically identical to
- * decodeCodeword / peekItemNibbles by contract.
- */
-std::optional<uint32_t> referenceDecodeCodeword(NibbleReader &reader,
-                                                Scheme scheme);
-std::optional<unsigned> referencePeekItemNibbles(NibbleReader reader,
-                                                 Scheme scheme);
-
-/** Descriptive display name: "baseline-2byte", "one-byte",
- *  "nibble-aligned" (stats output and figures). */
-const char *schemeName(Scheme scheme);
-
-/** CLI / job-spec name: "baseline", "onebyte", "nibble". */
-const char *schemeCliName(Scheme scheme);
-
-/** Inverse of schemeCliName; nullopt for an unknown name. */
-std::optional<Scheme> parseSchemeName(std::string_view name);
+/** @{ The paper-scheme codec singletons (registered in codec.cc). */
+const SchemeCodec &baselineCodec();
+const SchemeCodec &oneByteCodec();
+const SchemeCodec &nibbleCodec();
+/** @} */
 
 } // namespace codecomp::compress
 

@@ -76,13 +76,13 @@ struct CompressedImage
 
     size_t compressedTextBytes() const { return (textNibbles + 1) / 2; }
 
+    /** ROM cost of the dictionary in the scheme's own serialized form
+     *  (flat words for the paper schemes, factored streams for
+     *  operand-factored). */
     size_t
     dictionaryBytes() const
     {
-        size_t total = 0;
-        for (const auto &entry : entriesByRank)
-            total += entry.size() * isa::instBytes;
-        return total;
+        return schemeCodec(scheme).dictionaryBytes(entriesByRank);
     }
 
     /** Compressed program size: text plus dictionary overhead. */

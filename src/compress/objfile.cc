@@ -217,11 +217,8 @@ saveImage(const compress::CompressedImage &image)
     sink.putBlob(image.text);
 
     sink.put32(static_cast<uint32_t>(image.entriesByRank.size()));
-    for (const auto &entry : image.entriesByRank) {
-        sink.put32(static_cast<uint32_t>(entry.size()));
-        for (isa::Word word : entry)
-            sink.put32(word);
-    }
+    compress::schemeCodec(image.scheme)
+        .putDictionary(sink, image.entriesByRank);
 
     sink.putBlob(image.data);
     sink.put32(image.dataBase);
@@ -245,39 +242,25 @@ tryLoadImage(const std::vector<uint8_t> &bytes)
 
         compress::CompressedImage image;
         uint8_t scheme = source.get8();
-        if (scheme > static_cast<uint8_t>(compress::Scheme::Nibble))
+        const compress::SchemeCodec *codec =
+            compress::findSchemeCodec(scheme);
+        if (!codec)
             return badValue(source, "bad scheme byte " +
                                         std::to_string(scheme));
-        image.scheme = static_cast<compress::Scheme>(scheme);
+        image.scheme = codec->id();
         image.textNibbles = source.get64();
         image.text = source.getBlob();
 
         uint32_t entries = source.get32();
-        if (entries > compress::schemeParams(image.scheme).maxCodewords)
+        if (entries > codec->params().maxCodewords)
             return badValue(
                 source,
                 std::to_string(entries) +
                     " dictionary entries exceed the scheme ceiling of " +
-                    std::to_string(
-                        compress::schemeParams(image.scheme).maxCodewords));
-        image.entriesByRank.resize(entries);
-        for (auto &entry : image.entriesByRank) {
-            uint32_t length = source.get32();
-            if (length == 0 || length > maxImageEntryWords)
-                return badValue(source,
-                                "dictionary entry length " +
-                                    std::to_string(length) +
-                                    " outside 1.." +
-                                    std::to_string(maxImageEntryWords));
-            if (length > source.remaining() / 4)
-                return badValue(source,
-                                "dictionary entry of " +
-                                    std::to_string(length) +
-                                    " words exceeds the payload");
-            entry.reserve(length);
-            for (uint32_t k = 0; k < length; ++k)
-                entry.push_back(source.get32());
-        }
+                    std::to_string(codec->params().maxCodewords));
+        if (std::optional<std::string> detail = codec->getDictionary(
+                source, entries, maxImageEntryWords, image.entriesByRank))
+            return badValue(source, std::move(*detail));
 
         image.data = source.getBlob();
         image.dataBase = source.get32();
@@ -315,11 +298,12 @@ validateImage(const compress::CompressedImage &image)
                          std::move(detail)};
     };
 
-    if (static_cast<uint8_t>(image.scheme) >
-        static_cast<uint8_t>(compress::Scheme::Nibble))
+    const compress::SchemeCodec *codec =
+        compress::findSchemeCodec(static_cast<uint8_t>(image.scheme));
+    if (!codec)
         return invalid("bad scheme value " +
                        std::to_string(static_cast<int>(image.scheme)));
-    const compress::SchemeParams params = compress::schemeParams(image.scheme);
+    const compress::SchemeParams params = codec->params();
 
     // The byte blob must match the declared nibble count exactly: at
     // most one pad nibble (in the last byte's low half). Anything else
@@ -375,11 +359,11 @@ validateImage(const compress::CompressedImage &image)
     NibbleReader reader(image.text.data(), image.textNibbles);
     while (!reader.atEnd()) {
         uint32_t addr = static_cast<uint32_t>(reader.pos());
-        if (!compress::peekItemNibbles(reader, image.scheme))
+        if (!codec->peekItemNibbles(reader))
             return invalid("stream ends mid-item at nibble " +
                            std::to_string(addr));
         boundary[addr] = true;
-        auto rank = compress::decodeCodeword(reader, image.scheme);
+        auto rank = codec->decodeCodeword(reader);
         if (rank) {
             if (*rank >= image.entriesByRank.size())
                 return invalid("codeword at nibble " +

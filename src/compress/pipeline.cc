@@ -52,8 +52,8 @@ struct LayoutWork
     LayoutWork(const Program &program, const SchemeParams &params,
                Scheme scheme, const SelectionResult &selection,
                const std::vector<uint32_t> &rank_of_entry)
-        : program_(program), params_(params), scheme_(scheme),
-          rankOfEntry_(rank_of_entry)
+        : program_(program), params_(params),
+          codec_(schemeCodec(scheme)), rankOfEntry_(rank_of_entry)
     {
         buildItems(selection);
     }
@@ -146,7 +146,7 @@ struct LayoutWork
     itemNibbles(const LayoutItem &item) const
     {
         if (item.kind == LayoutItem::Kind::Codeword)
-            return codewordNibbles(scheme_, rankOfEntry_[item.entryId]);
+            return codec_.codewordNibbles(rankOfEntry_[item.entryId]);
         return params_.insnNibbles;
     }
 
@@ -226,7 +226,7 @@ struct LayoutWork
 
     const Program &program_;
     SchemeParams params_;
-    Scheme scheme_;
+    const SchemeCodec &codec_;
     const std::vector<uint32_t> &rankOfEntry_;
     std::vector<LayoutItem> items_;
     std::vector<uint32_t> item_addr_;
@@ -299,6 +299,8 @@ PipelineContext::PipelineContext(const Program &prog,
     greedy.maxEntries = std::min(config.maxEntries, params.maxCodewords);
     greedy.maxEntryLen = config.maxEntryLen;
     greedy.insnNibbles = params.insnNibbles;
+    greedy.dictEntryNibbles = params.dictEntryNibbles;
+    greedy.dictEntryExtraNibbles = params.dictEntryExtraNibbles;
     greedy.codewordNibbles =
         config.assumedCodewordNibbles
             ? config.assumedCodewordNibbles
@@ -432,13 +434,16 @@ passEmit(PipelineContext &ctx)
 {
     CompressedImage &image = ctx.image;
     const LayoutWork &layout = *ctx.layout;
-    Scheme scheme = ctx.config.scheme;
+    const SchemeCodec &codec = schemeCodec(ctx.config.scheme);
     image.selection = std::move(ctx.selection);
 
-    auto accountInstruction = [&image, scheme]() {
-        if (scheme == Scheme::Nibble)
-            image.composition.escapeNibbles += 1;
-        image.composition.insnNibbles += 8;
+    auto account = [&image](const EmitAccounting &accounting) {
+        image.composition.insnNibbles += accounting.insnNibbles;
+        image.composition.escapeNibbles += accounting.escapeNibbles;
+        image.composition.codewordNibbles += accounting.codewordNibbles;
+    };
+    auto accountInstruction = [&account, &codec]() {
+        account(codec.instructionAccounting());
     };
 
     NibbleWriter writer;
@@ -456,12 +461,12 @@ passEmit(PipelineContext &ctx)
                 inst.aa = false;
                 word = isa::encode(inst);
             }
-            emitInstruction(writer, scheme, word);
+            codec.emitInstruction(writer, word);
             accountInstruction();
             break;
           }
           case LayoutItem::Kind::SynFixed:
-            emitInstruction(writer, scheme, item.word);
+            codec.emitInstruction(writer, item.word);
             accountInstruction();
             break;
           case LayoutItem::Kind::SynLis:
@@ -475,20 +480,14 @@ passEmit(PipelineContext &ctx)
                                    pointer >> 16)))
                     : isa::ori(regFar, regFar,
                                static_cast<int32_t>(pointer & 0xffff));
-            emitInstruction(writer, scheme, isa::encode(inst));
+            codec.emitInstruction(writer, isa::encode(inst));
             accountInstruction();
             break;
           }
           case LayoutItem::Kind::Codeword: {
             uint32_t rank = image.rankOfEntry[item.entryId];
-            unsigned nibbles = codewordNibbles(scheme, rank);
-            emitCodeword(writer, scheme, rank);
-            if (scheme == Scheme::Baseline) {
-                image.composition.escapeNibbles += 2;
-                image.composition.codewordNibbles += 2;
-            } else {
-                image.composition.codewordNibbles += nibbles;
-            }
+            codec.emitCodeword(writer, rank);
+            account(codec.codewordAccounting(rank));
             break;
           }
         }

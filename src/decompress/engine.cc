@@ -74,7 +74,7 @@ void
 DecompressionEngine::scanFast()
 {
     const compress::DecodeTables &tables =
-        compress::decodeTables(image_.scheme);
+        compress::schemeCodec(image_.scheme).tables();
     const unsigned prefix_nibbles = tables.prefixNibbles;
     const uint32_t dict_size =
         static_cast<uint32_t>(image_.entriesByRank.size());
@@ -120,16 +120,17 @@ DecompressionEngine::scanFast()
 void
 DecompressionEngine::scanReference()
 {
+    const compress::SchemeCodec &codec =
+        compress::schemeCodec(image_.scheme);
     NibbleReader reader(image_.text.data(), image_.textNibbles);
     while (!reader.atEnd()) {
         DecodedItem item;
         item.nibbleAddr = static_cast<uint32_t>(reader.pos());
         // Classify the item length before decoding: a truncated stream
         // must surface as a machine check, not a read past the end.
-        if (!compress::referencePeekItemNibbles(reader, image_.scheme))
+        if (!codec.referencePeekItemNibbles(reader))
             throwTruncated(item.nibbleAddr);
-        auto rank =
-            compress::referenceDecodeCodeword(reader, image_.scheme);
+        auto rank = codec.referenceDecodeCodeword(reader);
         if (rank) {
             item.isCodeword = true;
             item.rank = *rank;

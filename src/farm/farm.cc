@@ -151,27 +151,21 @@ FarmReport::toJson() const
 std::vector<FarmJob>
 starterCorpus()
 {
-    static const compress::Scheme schemes[] = {
-        compress::Scheme::Baseline,
-        compress::Scheme::OneByte,
-        compress::Scheme::Nibble,
-    };
     static const compress::StrategyKind strategies[] = {
         compress::StrategyKind::Greedy,
         compress::StrategyKind::IterativeRefit,
     };
     std::vector<FarmJob> jobs;
     for (const std::string &workload : workloads::benchmarkNames()) {
-        for (compress::Scheme scheme : schemes) {
+        for (const compress::SchemeCodec *codec : compress::allCodecs()) {
             for (compress::StrategyKind strategy : strategies) {
                 FarmJob job;
                 job.workload = workload;
-                job.config.scheme = scheme;
+                job.config.scheme = codec->id();
                 job.config.strategy = strategy;
                 job.config.maxEntries = 4680; // the ccompress default
-                job.id = workload + "/" +
-                         compress::schemeCliName(scheme) + "/" +
-                         compress::strategyName(strategy);
+                job.id = workload + "/" + std::string(codec->cliName()) +
+                         "/" + compress::strategyName(strategy);
                 jobs.push_back(std::move(job));
             }
         }

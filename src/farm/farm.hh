@@ -23,9 +23,9 @@
  * jobs are index-addressed, and both cached stages are deterministic
  * pure functions of the cache key.
  *
- * The starter corpus is the paper's sweep: 8 workloads x 3 schemes x
- * {greedy, refit} strategies. Larger corpora come from job-spec JSON
- * files (jobspec.hh).
+ * The starter corpus is the paper's sweep: 8 workloads x every
+ * registered scheme x {greedy, refit} strategies. Larger corpora come
+ * from job-spec JSON files (jobspec.hh).
  */
 
 #ifndef CODECOMP_FARM_FARM_HH
@@ -112,7 +112,8 @@ struct FarmReport
     std::string toJson() const;
 };
 
-/** The 8 workloads x 3 schemes x {greedy, refit} starter corpus. */
+/** The 8 workloads x registered schemes x {greedy, refit} starter
+ *  corpus. */
 std::vector<FarmJob> starterCorpus();
 
 /**

@@ -364,8 +364,8 @@ interpretJob(const JsonValue &spec, size_t index)
     std::string scheme = stringField(spec, index, "scheme", "nibble");
     auto parsedScheme = compress::parseSchemeName(scheme);
     if (!parsedScheme)
-        jobFail(index, "unknown scheme \"" + scheme +
-                           "\" (expected baseline, onebyte, or nibble)");
+        jobFail(index, "unknown scheme \"" + scheme + "\" (expected " +
+                           compress::schemeCliNames(", ") + ")");
     job.config.scheme = *parsedScheme;
 
     std::string strategy = stringField(spec, index, "strategy", "greedy");

@@ -128,6 +128,13 @@ class ByteSink
     void put8(uint8_t value) { bytes_.push_back(value); }
 
     void
+    put16(uint16_t value)
+    {
+        put8(static_cast<uint8_t>(value >> 8));
+        put8(static_cast<uint8_t>(value));
+    }
+
+    void
     put32(uint32_t value)
     {
         put8(static_cast<uint8_t>(value >> 24));
@@ -187,6 +194,13 @@ class ByteSource
         if (pos_ >= bytes_.size())
             failTruncated("input ended inside a 1-byte field");
         return bytes_[pos_++];
+    }
+
+    uint16_t
+    get16()
+    {
+        uint16_t value = get8();
+        return static_cast<uint16_t>((value << 8) | get8());
     }
 
     uint32_t

@@ -266,9 +266,10 @@ TEST_P(EncodingRoundTrip, MixedStreamDecodes)
 }
 
 INSTANTIATE_TEST_SUITE_P(Schemes, EncodingRoundTrip,
-                         ::testing::Values(Scheme::Baseline,
-                                           Scheme::OneByte,
-                                           Scheme::Nibble));
+                         ::testing::ValuesIn(allSchemes()),
+                         [](const auto &info) {
+                             return schemeTestName(info.param);
+                         });
 
 TEST(Encoding, BaselineEscapeBytesUseIllegalOpcodes)
 {
@@ -305,8 +306,7 @@ TEST(Compressor, SmallProgramShrinksAndRuns)
 TEST(Compressor, CompositionSumsToImageSize)
 {
     Program program = workloads::buildBenchmark("compress");
-    for (Scheme scheme :
-         {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+    for (Scheme scheme : allSchemes()) {
         CompressorConfig config;
         config.scheme = scheme;
         CompressedImage image = compressProgram(program, config);
@@ -397,8 +397,7 @@ TEST(Compressor, ImageBitIdenticalAcrossJobCounts)
     // scheme, --jobs 1/2/8 must produce byte-for-byte identical
     // compressed images, down to the serialized .cci file.
     Program program = workloads::buildBenchmark("li");
-    for (Scheme scheme :
-         {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+    for (Scheme scheme : allSchemes()) {
         CompressorConfig config;
         config.scheme = scheme;
         setGlobalJobs(1);
@@ -451,12 +450,10 @@ TEST_P(CompressedExecution, MatchesOriginal)
 INSTANTIATE_TEST_SUITE_P(
     Suite, CompressedExecution,
     ::testing::Combine(::testing::Values("compress", "li", "ijpeg", "go"),
-                       ::testing::Values(Scheme::Baseline, Scheme::OneByte,
-                                         Scheme::Nibble)),
+                       ::testing::ValuesIn(allSchemes())),
     [](const auto &info) {
-        return std::get<0>(info.param) +
-               std::string("_") +
-               std::to_string(static_cast<int>(std::get<1>(info.param)));
+        return std::get<0>(info.param) + std::string("_") +
+               schemeTestName(std::get<1>(info.param));
     });
 
 } // namespace

@@ -28,8 +28,7 @@ namespace {
 
 constexpr uint64_t kMaxSteps = 1ull << 24;
 
-constexpr Scheme kSchemes[] = {Scheme::Baseline, Scheme::OneByte,
-                               Scheme::Nibble};
+const std::vector<Scheme> kSchemes = allSchemes();
 
 /** A few dozen instructions plus the runtime; keeps exhaustive sweeps
  *  over every byte/bit of the serialized image cheap. */

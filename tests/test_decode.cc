@@ -36,21 +36,7 @@ using namespace codecomp::compress;
 
 namespace {
 
-constexpr Scheme allSchemes[] = {Scheme::Baseline, Scheme::OneByte,
-                                 Scheme::Nibble};
-
-std::string
-schemeId(Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Baseline:
-        return "baseline";
-      case Scheme::OneByte:
-        return "onebyte";
-      default:
-        return "nibble";
-    }
-}
+const std::vector<Scheme> testedSchemes = allSchemes();
 
 /** A handful of real (legal-opcode) instruction words, so the escape
  *  rule genuinely distinguishes them from codewords. */
@@ -71,7 +57,7 @@ sampleWords()
 
 TEST(DecodeTableCodewords, EveryRankMatchesReferenceDecoder)
 {
-    for (Scheme scheme : allSchemes) {
+    for (Scheme scheme : testedSchemes) {
         unsigned max = schemeParams(scheme).maxCodewords;
         for (uint32_t rank = 0; rank < max; ++rank) {
             NibbleWriter writer;
@@ -87,7 +73,7 @@ TEST(DecodeTableCodewords, EveryRankMatchesReferenceDecoder)
             auto reference_rank =
                 referenceDecodeCodeword(reference, scheme);
             ASSERT_TRUE(fast_rank.has_value())
-                << schemeId(scheme) << " rank " << rank;
+                << schemeCliName(scheme) << " rank " << rank;
             ASSERT_TRUE(reference_rank.has_value());
             ASSERT_EQ(*fast_rank, rank);
             ASSERT_EQ(*fast_rank, *reference_rank);
@@ -99,7 +85,7 @@ TEST(DecodeTableCodewords, EveryRankMatchesReferenceDecoder)
 
 TEST(DecodeTableInstructions, RawWordsMatchReferenceDecoder)
 {
-    for (Scheme scheme : allSchemes) {
+    for (Scheme scheme : testedSchemes) {
         for (isa::Word word : sampleWords()) {
             NibbleWriter writer;
             emitInstruction(writer, scheme, word);
@@ -112,7 +98,7 @@ TEST(DecodeTableInstructions, RawWordsMatchReferenceDecoder)
             auto reference_rank =
                 referenceDecodeCodeword(reference, scheme);
             ASSERT_FALSE(fast_rank.has_value())
-                << schemeId(scheme) << " word " << std::hex << word;
+                << schemeCliName(scheme) << " word " << std::hex << word;
             ASSERT_FALSE(reference_rank.has_value());
             // Both decoders leave the cursor at the start of the word
             // (past any escape), so getWord() recovers it.
@@ -127,7 +113,7 @@ TEST(DecodeTablePeek, AgreesWithReferenceOnEveryTruncation)
     // A stream holding one of everything, then every truncated prefix
     // of it: peek must classify identically to the reference,
     // including the "stream cannot hold the whole item" nullopt.
-    for (Scheme scheme : allSchemes) {
+    for (Scheme scheme : testedSchemes) {
         NibbleWriter writer;
         unsigned max = schemeParams(scheme).maxCodewords;
         for (uint32_t rank : {0u, 1u, 7u, 31u, max - 1})
@@ -142,7 +128,7 @@ TEST(DecodeTablePeek, AgreesWithReferenceOnEveryTruncation)
             auto reference_peek =
                 referencePeekItemNibbles(reference, scheme);
             ASSERT_EQ(fast_peek, reference_peek)
-                << schemeId(scheme) << " truncated to " << len
+                << schemeCliName(scheme) << " truncated to " << len
                 << " nibbles";
         }
     }
@@ -150,7 +136,7 @@ TEST(DecodeTablePeek, AgreesWithReferenceOnEveryTruncation)
 
 TEST(DecodeTableShape, TablesCoverEveryPrefixConsistently)
 {
-    for (Scheme scheme : allSchemes) {
+    for (Scheme scheme : testedSchemes) {
         const DecodeTables &tables = decodeTables(scheme);
         unsigned prefix_values = 1u << (4 * tables.prefixNibbles);
         ASSERT_LE(prefix_values, tables.classes.size());
@@ -210,13 +196,12 @@ INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, DecodeGolden,
     ::testing::Combine(
         ::testing::ValuesIn(workloads::benchmarkNames()),
-        ::testing::Values(Scheme::Baseline, Scheme::OneByte,
-                          Scheme::Nibble),
+        ::testing::ValuesIn(allSchemes()),
         ::testing::Values(StrategyKind::Greedy,
                           StrategyKind::IterativeRefit)),
     [](const auto &info) {
         return std::get<0>(info.param) + "_" +
-               schemeId(std::get<1>(info.param)) +
+               schemeCliName(std::get<1>(info.param)) +
                (std::get<2>(info.param) == StrategyKind::Greedy
                     ? "_greedy"
                     : "_refit");
@@ -248,7 +233,7 @@ TEST(DecodeTableFaults, TruncatedStreamsFaultIdenticallyOnBothPaths)
     // truncation does (clean scan when it lands on an item boundary,
     // BadCodeword mid-item), both paths must do it bit-for-bit.
     Program p = workloads::buildBenchmark("compress");
-    for (Scheme scheme : allSchemes) {
+    for (Scheme scheme : testedSchemes) {
         CompressorConfig config;
         config.scheme = scheme;
         CompressedImage image = compressProgram(p, config);
@@ -258,7 +243,7 @@ TEST(DecodeTableFaults, TruncatedStreamsFaultIdenticallyOnBothPaths)
             mutant.textNibbles -= cut;
             EXPECT_EQ(scanOutcome(mutant, DecodePath::Fast),
                       scanOutcome(mutant, DecodePath::Reference))
-                << schemeId(scheme) << " cut " << cut;
+                << schemeCliName(scheme) << " cut " << cut;
         }
     }
 }
@@ -268,7 +253,7 @@ TEST(DecodeTableFaults, OutOfRangeRankFaultsIdenticallyOnBothPaths)
     // Shrink the dictionary under a valid stream so some codeword's
     // rank dangles; both scans must report the same DictIndexOutOfRange.
     Program p = workloads::buildBenchmark("li");
-    for (Scheme scheme : allSchemes) {
+    for (Scheme scheme : testedSchemes) {
         CompressorConfig config;
         config.scheme = scheme;
         CompressedImage image = compressProgram(p, config);
@@ -278,7 +263,7 @@ TEST(DecodeTableFaults, OutOfRangeRankFaultsIdenticallyOnBothPaths)
         std::string fast = scanOutcome(mutant, DecodePath::Fast);
         EXPECT_EQ(fast, scanOutcome(mutant, DecodePath::Reference));
         EXPECT_NE(fast.find("beyond dictionary"), std::string::npos)
-            << schemeId(scheme) << ": " << fast;
+            << schemeCliName(scheme) << ": " << fast;
     }
 }
 
@@ -287,7 +272,7 @@ TEST(DecodeTableFaults, OutOfRangeRankFaultsIdenticallyOnBothPaths)
 TEST(DecodeCache, PredecodedEntriesMatchFreshDecode)
 {
     Program p = workloads::buildBenchmark("go");
-    for (Scheme scheme : allSchemes) {
+    for (Scheme scheme : testedSchemes) {
         CompressorConfig config;
         config.scheme = scheme;
         CompressedImage image = compressProgram(p, config);
@@ -301,7 +286,7 @@ TEST(DecodeCache, PredecodedEntriesMatchFreshDecode)
             ASSERT_EQ(cached.size(), words.size());
             for (size_t slot = 0; slot < words.size(); ++slot)
                 EXPECT_EQ(cached[slot], isa::decode(words[slot]))
-                    << schemeId(scheme) << " rank " << rank
+                    << schemeCliName(scheme) << " rank " << rank
                     << " slot " << slot;
         }
     }

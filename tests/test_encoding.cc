@@ -60,16 +60,9 @@ TEST_P(ExhaustiveRoundTrip, EveryRankRoundTripsInOneStream)
 }
 
 INSTANTIATE_TEST_SUITE_P(Schemes, ExhaustiveRoundTrip,
-                         ::testing::Values(Scheme::Baseline,
-                                           Scheme::OneByte,
-                                           Scheme::Nibble),
+                         ::testing::ValuesIn(allSchemes()),
                          [](const auto &info) {
-                             return std::string(schemeName(info.param))
-                                 .substr(0, 4) == "base"
-                                        ? std::string("Baseline")
-                                        : (info.param == Scheme::OneByte
-                                               ? std::string("OneByte")
-                                               : std::string("Nibble"));
+                             return schemeTestName(info.param);
                          });
 
 TEST(OddNibblePadding, DeclaredCountEndsTheStream)

@@ -23,8 +23,7 @@ namespace {
 TEST(Engine, StreamScanAgreesWithAddressMap)
 {
     Program p = workloads::buildBenchmark("li");
-    for (Scheme scheme :
-         {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+    for (Scheme scheme : allSchemes()) {
         CompressorConfig config;
         config.scheme = scheme;
         CompressedImage image = compressProgram(p, config);
@@ -155,8 +154,7 @@ TEST(Engine, JumpTablesRepatchedToCompressedSpace)
     ASSERT_FALSE(p.codeRelocs.empty());
     ExecResult reference = runProgram(p);
 
-    for (Scheme scheme :
-         {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+    for (Scheme scheme : allSchemes()) {
         CompressorConfig config;
         config.scheme = scheme;
         CompressedImage image = compressProgram(p, config);
@@ -227,8 +225,7 @@ TEST(Engine, DenseIndexAgreesWithStreamScan)
     // hash map; walking the stream item by item must agree with it at
     // every item head, under every scheme.
     Program p = workloads::buildBenchmark("ijpeg");
-    for (Scheme scheme :
-         {Scheme::Baseline, Scheme::OneByte, Scheme::Nibble}) {
+    for (Scheme scheme : allSchemes()) {
         CompressorConfig config;
         config.scheme = scheme;
         CompressedImage image = compressProgram(p, config);

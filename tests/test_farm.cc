@@ -205,8 +205,8 @@ TEST(Farm, JobFailureIsCapturedNotFatal)
 TEST(Farm, StarterCorpusCoversTheSweep)
 {
     std::vector<farm::FarmJob> corpus = farm::starterCorpus();
-    EXPECT_EQ(corpus.size(),
-              workloads::benchmarkNames().size() * 3 * 2);
+    EXPECT_EQ(corpus.size(), workloads::benchmarkNames().size() *
+                                 compress::allCodecs().size() * 2);
     // Ids are unique.
     std::vector<std::string> ids;
     for (const farm::FarmJob &job : corpus)

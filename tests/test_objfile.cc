@@ -83,9 +83,7 @@ TEST(ObjFile, ImageRoundTripExecutes)
     Program program = workloads::buildBenchmark("compress");
     ExecResult reference = runProgram(program);
 
-    for (compress::Scheme scheme :
-         {compress::Scheme::Baseline, compress::Scheme::OneByte,
-          compress::Scheme::Nibble}) {
+    for (compress::Scheme scheme : compress::allSchemes()) {
         compress::CompressorConfig config;
         config.scheme = scheme;
         compress::CompressedImage image =

@@ -33,19 +33,6 @@ compressScheme(const Program &p, Scheme scheme)
     return compressProgram(p, config);
 }
 
-std::string
-schemeId(Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Baseline:
-        return "baseline";
-      case Scheme::OneByte:
-        return "onebyte";
-      default:
-        return "nibble";
-    }
-}
-
 // ---------------- full workload sweep ----------------
 
 class LockstepWorkloads
@@ -77,11 +64,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, LockstepWorkloads,
     ::testing::Combine(
         ::testing::ValuesIn(workloads::benchmarkNames()),
-        ::testing::Values(Scheme::Baseline, Scheme::OneByte,
-                          Scheme::Nibble)),
+        ::testing::ValuesIn(allSchemes())),
     [](const auto &info) {
         return std::get<0>(info.param) + "_" +
-               schemeId(std::get<1>(info.param));
+               std::string(schemeCliName(std::get<1>(info.param)));
     });
 
 // The IterativeRefit strategy picks a different dictionary than plain
@@ -113,11 +99,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, LockstepRefitWorkloads,
     ::testing::Combine(
         ::testing::ValuesIn(workloads::benchmarkNames()),
-        ::testing::Values(Scheme::Baseline, Scheme::OneByte,
-                          Scheme::Nibble)),
+        ::testing::ValuesIn(allSchemes())),
     [](const auto &info) {
         return std::get<0>(info.param) + "_" +
-               schemeId(std::get<1>(info.param));
+               std::string(schemeCliName(std::get<1>(info.param)));
     });
 
 // ---------------- far-branch stubs ----------------

@@ -8,9 +8,9 @@
  *          [--jobs N] [--no-cache] [--report out.json]
  *          [--images outdir/] [--list]
  *
- * Without --spec the queue is the starter corpus (all 8 workloads x 3
- * schemes x {greedy, refit}), optionally narrowed by the --workloads /
- * --schemes / --strategies comma lists. With --spec the queue comes
+ * Without --spec the queue is the starter corpus (all 8 workloads x
+ * every registered scheme x {greedy, refit}), optionally narrowed by
+ * the --workloads / --schemes / --strategies comma lists. With --spec the queue comes
  * from a job-spec JSON file (src/farm/jobspec.hh) and the narrowing
  * flags are rejected.
  *
@@ -46,10 +46,11 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: ccfarm [--spec jobs.json] [--workloads a,b,...] "
-                 "[--schemes baseline,onebyte,nibble] "
+                 "[--schemes %s,...] "
                  "[--strategies greedy,reference,refit] [--jobs N] "
                  "[--no-cache] [--report out.json] [--images outdir/] "
-                 "[--list]\n");
+                 "[--list]\n",
+                 compress::schemeCliNames(",").c_str());
     return tools::exitUserError;
 }
 

@@ -2,10 +2,15 @@
  * @file
  * ccompress -- compress linked .ccp programs into .cci images.
  *
- *   ccompress prog.ccp -o prog.cci [--scheme baseline|onebyte|nibble]
+ *   ccompress prog.ccp -o prog.cci [--scheme <name>]
  *             [--strategy greedy|reference|refit] [--max-entries N]
  *             [--max-len N] [--jobs N] [--stats] [--stats-json file]
  *   ccompress a.ccp b.ccp ... -o outdir/ [options]
+ *   ccompress --list-schemes
+ *
+ * The scheme names come from the codec registry (compress/codec.hh);
+ * --list-schemes prints the registered codecs with their parameters
+ * (this output is the source of README.md's scheme table).
  *
  * With several inputs the output names an existing directory (or a
  * path ending in '/'), each program is written there as <stem>.cci,
@@ -42,11 +47,30 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: ccompress <in.ccp>... -o <out.cci | outdir/> "
-                 "[--scheme baseline|onebyte|nibble] "
+                 "[--scheme %s] "
                  "[--strategy greedy|reference|refit] [--max-entries N] "
                  "[--max-len N] [--jobs N] [--stats] "
-                 "[--stats-json <file>]\n");
+                 "[--stats-json <file>]\n"
+                 "       ccompress --list-schemes\n",
+                 compress::schemeCliNames().c_str());
     return tools::exitUserError;
+}
+
+/** Print the registered codecs as a markdown table (README source). */
+int
+listSchemes()
+{
+    std::printf("| scheme | codewords | unit | summary |\n");
+    std::printf("|--------|-----------|------|---------|\n");
+    for (const compress::SchemeCodec *codec : compress::allCodecs()) {
+        const compress::SchemeParams &params = codec->params();
+        std::printf("| `%s` | %u | %u nibble%s | %s |\n",
+                    std::string(codec->cliName()).c_str(),
+                    params.maxCodewords, params.unitNibbles,
+                    params.unitNibbles == 1 ? "" : "s",
+                    std::string(codec->summary()).c_str());
+    }
+    return tools::exitOk;
 }
 
 int
@@ -160,10 +184,12 @@ run(int argc, char **argv)
             std::string scheme = argv[++i];
             auto kind = compress::parseSchemeName(scheme);
             if (!kind)
-                return badArg("unknown scheme '%s' (expected baseline, "
-                              "onebyte, or nibble)",
-                              scheme.c_str());
+                return badArg("unknown scheme '%s' (expected %s)",
+                              scheme.c_str(),
+                              compress::schemeCliNames(", ").c_str());
             config.scheme = *kind;
+        } else if (arg == "--list-schemes") {
+            return listSchemes();
         } else if (arg == "--strategy" && i + 1 < argc) {
             std::string name = argv[++i];
             auto kind = compress::parseStrategyName(name);

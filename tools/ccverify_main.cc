@@ -11,7 +11,8 @@
  *   ccverify --benchmark <name> [options]
  *
  * Options:
- *   --scheme baseline|onebyte|nibble|all   scheme(s) to verify (all)
+ *   --scheme <name>|all  scheme(s) to verify (all); names come from
+ *                        the codec registry (ccompress --list-schemes)
  *   --strategy greedy|reference|refit   selection strategy (greedy)
  *   --max-steps N        instruction budget per run
  *   --window N           retired instructions of history per side
@@ -60,11 +61,12 @@ usage()
     std::fprintf(
         stderr,
         "usage: ccverify <prog.ccp> | --benchmark <name>\n"
-        "  [--scheme baseline|onebyte|nibble|all]\n"
+        "  [--scheme %s|all]\n"
         "  [--strategy greedy|reference|refit] [--max-steps N]\n"
         "  [--window N] [--max-divergences N] [--check-interval N]\n"
         "  [--inject dict|rank|disp|all] [--corrupt N] [--checksum]\n"
-        "  [--seed N]\n");
+        "  [--seed N]\n",
+        compress::schemeCliNames().c_str());
     return tools::exitUserError;
 }
 
@@ -233,14 +235,9 @@ run(int argc, char **argv)
 
     std::vector<compress::Scheme> schemes;
     if (scheme_arg == "all") {
-        schemes = {compress::Scheme::Baseline, compress::Scheme::OneByte,
-                   compress::Scheme::Nibble};
-    } else if (scheme_arg == "baseline") {
-        schemes = {compress::Scheme::Baseline};
-    } else if (scheme_arg == "onebyte") {
-        schemes = {compress::Scheme::OneByte};
-    } else if (scheme_arg == "nibble") {
-        schemes = {compress::Scheme::Nibble};
+        schemes = compress::allSchemes();
+    } else if (auto parsed = compress::parseSchemeName(scheme_arg)) {
+        schemes = {*parsed};
     } else {
         return usage();
     }
