@@ -21,6 +21,21 @@
  * are large and computed rarely, so contention is negligible next to
  * the work saved).
  *
+ * Two robustness layers sit on top of the in-memory map:
+ *
+ *  - a bounded footprint: setCapacity() caps the entry count and/or
+ *    approximate byte size, with least-recently-used eviction (the
+ *    Stats::evictions counter reports how often the cap bit);
+ *  - a crash-safe persistent backing store: setDiskStore() points the
+ *    cache at a directory where every product is also written as one
+ *    file -- temp-file + atomic rename, a versioned header, and an
+ *    FNV-1a64 payload checksum. In-memory misses fall back to disk,
+ *    so a warm directory survives process restarts (and is how the
+ *    farm's isolated workers share work). A corrupt, truncated, or
+ *    version-skewed file is detected by the checksum/structure checks,
+ *    quarantined (renamed *.quarantined), and silently recomputed:
+ *    damage can degrade throughput but can never alter a result.
+ *
  * A PipelineCache is attached to a compression through
  * PipelineContext::cache (pipeline.hh); a null cache leaves the
  * pipeline exactly as before.
@@ -29,9 +44,12 @@
 #ifndef CODECOMP_COMPRESS_CACHE_HH
 #define CODECOMP_COMPRESS_CACHE_HH
 
+#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "compress/candidates.hh"
@@ -58,6 +76,11 @@ class PipelineCache
         uint64_t enumMisses = 0;
         uint64_t selectHits = 0;
         uint64_t selectMisses = 0;
+        uint64_t evictions = 0;      //!< in-memory entries dropped by cap
+        uint64_t persistHits = 0;    //!< memory misses served from disk
+        uint64_t persistMisses = 0;  //!< misses disk could not serve
+        uint64_t persistStores = 0;  //!< entry files written
+        uint64_t persistCorrupt = 0; //!< damaged files quarantined
     };
 
     using CandidateList = std::vector<Candidate>;
@@ -89,16 +112,73 @@ class PipelineCache
     void storeSelection(uint64_t key,
                         std::shared_ptr<const CachedSelection> selection);
 
+    /**
+     * Bound the in-memory footprint: at most @p maxEntries products
+     * and/or @p maxBytes approximate payload bytes (0 = unlimited).
+     * When a store exceeds a cap the least-recently-used products are
+     * evicted (Stats::evictions). Disk copies are never evicted, so a
+     * capped cache backed by a store degrades to disk reads, not to
+     * recomputation.
+     */
+    void setCapacity(size_t maxEntries, uint64_t maxBytes);
+
+    /**
+     * Back the cache with directory @p dir (created if absent). Every
+     * store is also written as one checksummed file via temp-file +
+     * atomic rename; misses fall back to disk. If the directory cannot
+     * be created or written the store is disabled with a warning --
+     * persistence failures never fail a compression. Returns whether
+     * the store is usable.
+     */
+    bool setDiskStore(const std::string &dir);
+
+    const std::string &diskDir() const { return diskDir_; }
+
+    /** In-memory product count (after eviction), for tests. */
+    size_t entryCount() const;
+
     Stats stats() const;
 
   private:
+    enum class Kind : uint8_t { Enumerate = 1, Select = 2 };
+    using EntryKey = std::pair<uint8_t, uint64_t>; //!< (Kind, key)
+
+    struct Entry
+    {
+        std::shared_ptr<const CandidateList> candidates;
+        std::shared_ptr<const CachedSelection> selection;
+        uint64_t bytes = 0;
+        std::list<EntryKey>::iterator lruIt;
+    };
+
+    /** Insert (or refresh) under the lock, applying the caps. */
+    void insertLocked(Kind kind, uint64_t key, Entry entry);
+    void touchLocked(Entry &entry, EntryKey entryKey);
+    void evictLocked();
+
+    /** Disk-store paths and I/O; all called under the lock. */
+    std::string entryPath(Kind kind, uint64_t key) const;
+    void persistLocked(Kind kind, uint64_t key, const Entry &entry);
+    bool loadFromDiskLocked(Kind kind, uint64_t key, Entry &out);
+    void quarantineLocked(const std::string &path);
+
     mutable std::mutex mutex_;
-    std::unordered_map<uint64_t, std::shared_ptr<const CandidateList>>
-        candidates_;
-    std::unordered_map<uint64_t, std::shared_ptr<const CachedSelection>>
-        selections_;
+    std::map<EntryKey, Entry> entries_;
+    std::list<EntryKey> lru_; //!< front = most recently used
+    uint64_t totalBytes_ = 0;
+    size_t maxEntries_ = 0;  //!< 0 = unlimited
+    uint64_t maxBytes_ = 0;  //!< 0 = unlimited
+    std::string diskDir_;    //!< "" = no persistent store
     Stats stats_;
 };
+
+/** @{ Serialized form of the cached products -- the payload of the
+ *  persistent store's entry files (format in cache.cc). Exposed for
+ *  the corruption tests, which build damaged payloads on purpose. */
+std::vector<uint8_t>
+serializeCandidates(const PipelineCache::CandidateList &candidates);
+std::vector<uint8_t> serializeSelection(const CachedSelection &selection);
+/** @} */
 
 } // namespace codecomp::compress
 

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
+#include <system_error>
+#include <thread>
+
+#include <unistd.h>
 
 #include "compress/objfile.hh"
+#include "farm/jobspec.hh"
+#include "farm/worker.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/rng.hh"
 #include "support/serialize.hh"
+#include "support/subprocess.hh"
 #include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
@@ -41,7 +50,8 @@ hexDigest(uint64_t value)
     return buf;
 }
 
-/** One per-job record; @p full adds wall time and pipeline stats. */
+/** One per-job record; @p full adds wall time, attempts, failure
+ *  attribution, and pipeline stats. */
 void
 jobRecordJson(JsonWriter &json, const FarmJobResult &result, bool full)
 {
@@ -62,7 +72,11 @@ jobRecordJson(JsonWriter &json, const FarmJobResult &result, bool full)
     }
     if (full) {
         json.member("millis", result.millis);
-        if (result.ok()) {
+        json.member("attempts", result.attempts);
+        if (!result.ok())
+            json.member("failure_kind",
+                        failureKindName(result.failureKind));
+        if (result.ok() && !result.stats.passes.empty()) {
             json.key("pipeline");
             json.raw(result.stats.toJson());
         }
@@ -70,7 +84,250 @@ jobRecordJson(JsonWriter &json, const FarmJobResult &result, bool full)
     json.endObject();
 }
 
+uint64_t
+mix64(uint64_t a, uint64_t b)
+{
+    ByteSink sink;
+    sink.put64(a);
+    sink.put64(b);
+    return fnv1a64(sink.bytes());
+}
+
+/** Effective deadline/retry budget for @p job under @p options. */
+uint64_t
+effectiveTimeoutMs(const FarmJob &job, const FarmOptions &options)
+{
+    return job.timeoutMs >= 0 ? static_cast<uint64_t>(job.timeoutMs)
+                              : options.jobTimeoutMs;
+}
+
+uint32_t
+effectiveRetries(const FarmJob &job, const FarmOptions &options)
+{
+    return job.retries >= 0 ? static_cast<uint32_t>(job.retries)
+                            : options.retries;
+}
+
+/** First ~200 chars of the worker's captured stderr, for failure
+ *  attribution (empty on any read problem). */
+std::string
+stderrExcerpt(const std::string &path)
+{
+    Result<std::vector<uint8_t>> bytes = tryReadFile(path);
+    if (!bytes.ok() || bytes.value().empty())
+        return "";
+    std::string text(bytes.value().begin(), bytes.value().end());
+    if (text.size() > 200)
+        text.resize(200);
+    for (char &c : text)
+        if (c == '\n')
+            c = ' ';
+    return text;
+}
+
+/**
+ * Run one job in a worker subprocess with deadline, retries, and
+ * backoff. Scratch files live under @p scratch and are removed per
+ * attempt; the final result (success or a classified failure) carries
+ * the attempt count and failure kind.
+ */
+FarmJobResult
+runIsolatedJob(const FarmJob &job, size_t index,
+               const FarmOptions &options, const std::string &workerBin,
+               const std::filesystem::path &scratch,
+               compress::PipelineCache::Stats &cacheTotals,
+               std::mutex &cacheTotalsMutex)
+{
+    FarmJobResult result;
+    result.id = job.id;
+    result.workload = job.workload;
+    result.scheme = compress::schemeCliName(job.config.scheme);
+    result.strategy = compress::strategyName(job.config.strategy);
+
+    uint64_t timeoutMs = effectiveTimeoutMs(job, options);
+    uint32_t maxAttempts = 1 + effectiveRetries(job, options);
+    Clock::time_point jobStart = Clock::now();
+    std::string specJson = writeJobSpec({job});
+
+    // Preflight: a job the spec format itself rejects (an out-of-range
+    // config) is deterministic -- fail it as a SpecError immediately
+    // instead of burning worker spawns and retries on it.
+    try {
+        parseJobSpec(specJson);
+    } catch (const std::exception &error) {
+        result.error = error.what();
+        result.failureKind = FailureKind::SpecError;
+        result.millis = millisSince(jobStart);
+        return result;
+    }
+
+    for (uint32_t attempt = 0; attempt < maxAttempts; ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoffMillis(attempt, options.backoffBaseMs,
+                              options.backoffCapMs, options.seed,
+                              index)));
+        result.attempts = attempt + 1;
+
+        std::string stem =
+            (scratch / ("job-" + std::to_string(index) + "-" +
+                        std::to_string(attempt)))
+                .string();
+        std::string specPath = stem + ".json";
+        std::string outPath = stem + ".bin";
+        std::string errPath = stem + ".stderr";
+        writeFile(specPath,
+                  std::vector<uint8_t>(specJson.begin(), specJson.end()));
+
+        std::vector<std::string> argv = {workerBin, "--worker", specPath,
+                                         "--worker-out", outPath};
+        if (!options.cacheDir.empty() && options.cache) {
+            argv.push_back("--cache-dir");
+            argv.push_back(options.cacheDir);
+        }
+        if (!options.keepImages)
+            argv.push_back("--worker-no-images");
+        bool injected =
+            (options.inject.kind == InjectKind::Crash ||
+             options.inject.kind == InjectKind::Hang) &&
+            shouldInject(options.inject, index, attempt);
+        if (injected) {
+            argv.push_back("--worker-inject");
+            argv.push_back(options.inject.kind == InjectKind::Crash
+                               ? "crash"
+                               : "hang");
+        }
+
+        SubprocessOptions spawnOptions;
+        spawnOptions.timeoutMs = timeoutMs;
+        spawnOptions.stderrPath = errPath;
+        SubprocessResult spawn = runSubprocess(argv, spawnOptions);
+
+        WorkerResult worker;
+        bool resultOk = false;
+        if (spawn.outcome == SubprocessResult::Outcome::Exited &&
+            spawn.exitCode == 0) {
+            Result<std::vector<uint8_t>> bytes = tryReadFile(outPath);
+            if (bytes.ok()) {
+                Result<WorkerResult> parsed =
+                    parseWorkerResult(bytes.value());
+                if (parsed.ok()) {
+                    worker = parsed.take();
+                    resultOk = true;
+                }
+            }
+        }
+        FailureKind kind = classifyWorkerOutcome(spawn, resultOk, worker);
+
+        std::string excerpt = stderrExcerpt(errPath);
+        std::error_code ec;
+        std::filesystem::remove(specPath, ec);
+        std::filesystem::remove(outPath, ec);
+        std::filesystem::remove(errPath, ec);
+
+        if (kind == FailureKind::None) {
+            uint32_t attempts = result.attempts;
+            result = std::move(worker.result);
+            result.attempts = attempts;
+            result.failureKind = FailureKind::None;
+            result.error.clear();
+            {
+                std::lock_guard<std::mutex> lock(cacheTotalsMutex);
+                const compress::PipelineCache::Stats &cs =
+                    worker.cacheStats;
+                cacheTotals.enumHits += cs.enumHits;
+                cacheTotals.enumMisses += cs.enumMisses;
+                cacheTotals.selectHits += cs.selectHits;
+                cacheTotals.selectMisses += cs.selectMisses;
+                cacheTotals.evictions += cs.evictions;
+                cacheTotals.persistHits += cs.persistHits;
+                cacheTotals.persistMisses += cs.persistMisses;
+                cacheTotals.persistStores += cs.persistStores;
+                cacheTotals.persistCorrupt += cs.persistCorrupt;
+            }
+            break;
+        }
+
+        result.failureKind = kind;
+        if (resultOk && !worker.result.error.empty()) {
+            result.error = worker.result.error;
+        } else {
+            result.error = std::string("worker ") +
+                           subprocessOutcomeName(spawn.outcome);
+            if (spawn.outcome == SubprocessResult::Outcome::Exited)
+                result.error +=
+                    " (exit " + std::to_string(spawn.exitCode) + ")";
+            else if (spawn.outcome == SubprocessResult::Outcome::Signaled)
+                result.error +=
+                    " (signal " + std::to_string(spawn.signal) + ")";
+            else if (spawn.outcome == SubprocessResult::Outcome::TimedOut)
+                result.error += " (deadline " +
+                                std::to_string(timeoutMs) + " ms)";
+            if (!excerpt.empty())
+                result.error += ": " + excerpt;
+        }
+        // A SpecError is deterministic -- retrying replays the same
+        // failure -- so only environment-shaped kinds burn retries.
+        if (kind == FailureKind::SpecError)
+            break;
+    }
+    result.millis = millisSince(jobStart);
+    return result;
+}
+
 } // namespace
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::None:
+        return "none";
+      case FailureKind::Crash:
+        return "crash";
+      case FailureKind::Timeout:
+        return "timeout";
+      case FailureKind::LoadError:
+        return "load_error";
+      case FailureKind::MachineCheck:
+        return "machine_check";
+      case FailureKind::SpecError:
+        return "spec_error";
+    }
+    return "?";
+}
+
+bool
+shouldInject(const FaultPlan &plan, size_t jobIndex, uint32_t attempt)
+{
+    if (plan.kind == InjectKind::None ||
+        plan.kind == InjectKind::CorruptCache || plan.rateDen == 0)
+        return false;
+    // Job-level decision only: the injected subset is a pure function
+    // of (seed, jobIndex), so reports reproduce across runs, pool
+    // widths, and attempt counts.
+    Rng rng(mix64(plan.seed, static_cast<uint64_t>(jobIndex)));
+    bool jobInjected = rng.chance(plan.rateNum, plan.rateDen);
+    if (plan.firstAttemptOnly)
+        return jobInjected && attempt == 0;
+    return jobInjected;
+}
+
+uint64_t
+backoffMillis(uint32_t attempt, uint64_t baseMs, uint64_t capMs,
+              uint64_t seed, size_t jobIndex)
+{
+    CC_ASSERT(attempt >= 1, "backoff is a between-attempts delay");
+    uint64_t exp = attempt - 1 >= 20 ? 20 : attempt - 1; // clamp shift
+    uint64_t delay = baseMs << exp;
+    if (capMs && delay > capMs)
+        delay = capMs;
+    // Jitter in [50%, 150%], seeded so two workers retrying the same
+    // moment don't stampede in sync -- but reproducibly.
+    Rng rng(mix64(mix64(seed, static_cast<uint64_t>(jobIndex)), attempt));
+    uint64_t percent = 50 + rng.below(101);
+    return delay * percent / 100;
+}
 
 size_t
 FarmReport::failures() const
@@ -78,6 +335,15 @@ FarmReport::failures() const
     return static_cast<size_t>(
         std::count_if(results.begin(), results.end(),
                       [](const FarmJobResult &r) { return !r.ok(); }));
+}
+
+size_t
+FarmReport::failuresOfKind(FailureKind kind) const
+{
+    return static_cast<size_t>(std::count_if(
+        results.begin(), results.end(), [kind](const FarmJobResult &r) {
+            return !r.ok() && r.failureKind == kind;
+        }));
 }
 
 std::vector<std::pair<std::string, double>>
@@ -117,8 +383,20 @@ FarmReport::toJson() const
     json.beginObject();
     json.member("jobs", static_cast<uint64_t>(results.size()));
     json.member("failures", static_cast<uint64_t>(failures()));
+    json.key("failure_kinds");
+    json.beginObject();
+    for (FailureKind kind :
+         {FailureKind::Crash, FailureKind::Timeout, FailureKind::LoadError,
+          FailureKind::MachineCheck, FailureKind::SpecError}) {
+        size_t count = failuresOfKind(kind);
+        if (count)
+            json.member(failureKindName(kind),
+                        static_cast<uint64_t>(count));
+    }
+    json.endObject();
     json.member("pool_jobs", poolJobs);
     json.member("cache", cacheEnabled);
+    json.member("isolate", isolated);
     json.member("build_millis", buildMillis);
     json.member("compress_millis", compressMillis);
     json.member("wall_millis", wallMillis);
@@ -133,6 +411,11 @@ FarmReport::toJson() const
     json.member("enum_misses", cacheStats.enumMisses);
     json.member("select_hits", cacheStats.selectHits);
     json.member("select_misses", cacheStats.selectMisses);
+    json.member("evictions", cacheStats.evictions);
+    json.member("persist_hits", cacheStats.persistHits);
+    json.member("persist_misses", cacheStats.persistMisses);
+    json.member("persist_stores", cacheStats.persistStores);
+    json.member("persist_corrupt", cacheStats.persistCorrupt);
     json.endObject();
     json.key("pass_millis");
     json.beginObject();
@@ -173,12 +456,52 @@ starterCorpus()
     return jobs;
 }
 
+FarmJobResult
+runFarmJob(const FarmJob &job, const Program &program,
+           uint64_t programHash, compress::PipelineCache *cache,
+           bool keepImages)
+{
+    FarmJobResult result;
+    result.id = job.id;
+    result.workload = job.workload;
+    result.scheme = compress::schemeCliName(job.config.scheme);
+    result.strategy = compress::strategyName(job.config.strategy);
+    Clock::time_point jobStart = Clock::now();
+    try {
+        compress::PipelineContext ctx(program, job.config);
+        if (cache) {
+            ctx.cache = cache;
+            ctx.programHash = programHash;
+        }
+        result.stats = compress::Pipeline::standard().run(ctx);
+        const compress::CompressedImage &image = ctx.image;
+        result.totalBytes = image.totalBytes();
+        result.textBytes = image.compressedTextBytes();
+        result.dictBytes = image.dictionaryBytes();
+        result.ratio = image.compressionRatio();
+        result.farBranchExpansions = image.farBranchExpansions;
+        std::vector<uint8_t> bytes = saveImage(image);
+        result.imageFnv64 = fnv1a64(bytes);
+        if (keepImages)
+            result.imageBytes = std::move(bytes);
+    } catch (const LoadFailure &failure) {
+        result.error = failure.what();
+        result.failureKind = FailureKind::LoadError;
+    } catch (const std::exception &error) {
+        result.error = error.what();
+        result.failureKind = FailureKind::SpecError;
+    }
+    result.millis = millisSince(jobStart);
+    return result;
+}
+
 FarmReport
 runFarm(const std::vector<FarmJob> &jobs, const FarmOptions &options)
 {
     Clock::time_point runStart = Clock::now();
     FarmReport report;
     report.cacheEnabled = options.cache;
+    report.isolated = options.isolate;
     report.poolJobs = globalJobs();
 
     // Validate the queue before any work starts: a typo'd workload
@@ -192,6 +515,50 @@ runFarm(const std::vector<FarmJob> &jobs, const FarmOptions &options)
         if (job.scale < 1)
             CC_FATAL("farm job '", job.id, "': scale must be >= 1, got ",
                      job.scale);
+    }
+
+    if (options.isolate) {
+        // Process isolation: every job runs in a forked worker (the
+        // ccfarm binary in --worker mode); the parent builds nothing
+        // and touches no job state, so no fault can reach it.
+        std::string workerBin = options.workerBinary.empty()
+                                    ? selfExecutablePath()
+                                    : options.workerBinary;
+        if (workerBin.empty())
+            CC_FATAL("isolation requires a worker binary (set "
+                     "FarmOptions::workerBinary)");
+        if (!std::filesystem::exists(workerBin))
+            CC_FATAL("worker binary '", workerBin, "' does not exist");
+
+        std::filesystem::path scratch =
+            options.scratchDir.empty()
+                ? std::filesystem::temp_directory_path()
+                : std::filesystem::path(options.scratchDir);
+        scratch /= "ccfarm-" + std::to_string(::getpid()) + "-" +
+                   hexDigest(mix64(options.seed,
+                                   static_cast<uint64_t>(
+                                       Clock::now().time_since_epoch()
+                                           .count())));
+        std::error_code ec;
+        std::filesystem::create_directories(scratch, ec);
+        if (ec)
+            CC_FATAL("cannot create farm scratch directory '",
+                     scratch.string(), "': ", ec.message());
+
+        compress::PipelineCache::Stats cacheTotals;
+        std::mutex cacheTotalsMutex;
+        Clock::time_point compressStart = Clock::now();
+        report.results = parallelMap<FarmJobResult>(
+            jobs.size(), [&](size_t i) {
+                return runIsolatedJob(jobs[i], i, options, workerBin,
+                                      scratch, cacheTotals,
+                                      cacheTotalsMutex);
+            });
+        report.compressMillis = millisSince(compressStart);
+        report.cacheStats = cacheTotals;
+        std::filesystem::remove_all(scratch, ec);
+        report.wallMillis = millisSince(runStart);
+        return report;
     }
 
     // Build each distinct (workload, scale) program once, in parallel;
@@ -219,40 +586,19 @@ runFarm(const std::vector<FarmJob> &jobs, const FarmOptions &options)
     // so the report order is the queue order at any pool width. Each
     // job's own parallel enumeration nests and therefore runs inline.
     compress::PipelineCache cache;
+    if (options.cacheMaxEntries || options.cacheMaxBytes)
+        cache.setCapacity(options.cacheMaxEntries, options.cacheMaxBytes);
+    if (!options.cacheDir.empty() && options.cache)
+        cache.setDiskStore(options.cacheDir);
     Clock::time_point compressStart = Clock::now();
     report.results = parallelMap<FarmJobResult>(
         jobs.size(), [&](size_t i) {
             const FarmJob &job = jobs[i];
             const BuiltProgram &prog =
                 built[programOf.at({job.workload, job.scale})];
-            FarmJobResult result;
-            result.id = job.id;
-            result.workload = job.workload;
-            result.scheme = compress::schemeCliName(job.config.scheme);
-            result.strategy = compress::strategyName(job.config.strategy);
-            Clock::time_point jobStart = Clock::now();
-            try {
-                compress::PipelineContext ctx(prog.program, job.config);
-                if (options.cache) {
-                    ctx.cache = &cache;
-                    ctx.programHash = prog.hash;
-                }
-                result.stats = compress::Pipeline::standard().run(ctx);
-                const compress::CompressedImage &image = ctx.image;
-                result.totalBytes = image.totalBytes();
-                result.textBytes = image.compressedTextBytes();
-                result.dictBytes = image.dictionaryBytes();
-                result.ratio = image.compressionRatio();
-                result.farBranchExpansions = image.farBranchExpansions;
-                std::vector<uint8_t> bytes = saveImage(image);
-                result.imageFnv64 = fnv1a64(bytes);
-                if (options.keepImages)
-                    result.imageBytes = std::move(bytes);
-            } catch (const std::exception &error) {
-                result.error = error.what();
-            }
-            result.millis = millisSince(jobStart);
-            return result;
+            return runFarmJob(job, prog.program, prog.hash,
+                              options.cache ? &cache : nullptr,
+                              options.keepImages);
         });
     report.compressMillis = millisSince(compressStart);
     report.cacheStats = cache.stats();

@@ -1,5 +1,6 @@
 #include "farm/jobspec.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 
 #include "compress/encoding.hh"
 #include "compress/strategy.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace codecomp::farm {
@@ -344,7 +346,8 @@ interpretJob(const JsonValue &spec, size_t index)
         "workload", "scale",      "scheme",
         "strategy", "max_entries", "max_len",
         "assumed_codeword_nibbles", "refit_max_rounds",
-        "repeat",   "id",
+        "repeat",   "id",          "timeout_ms",
+        "retries",
     };
     for (const auto &[key, value] : spec.object) {
         (void)value;
@@ -386,6 +389,14 @@ interpretJob(const JsonValue &spec, size_t index)
     job.config.refitMaxRounds = static_cast<uint32_t>(
         intField(spec, index, "refit_max_rounds", 6, 0, 64));
 
+    // -1 (absent) defers to the farm-level defaults; 0 is an explicit
+    // "no deadline" / "no retries". A day-long deadline cap keeps a
+    // fat-fingered value from disabling fault detection quietly.
+    job.timeoutMs = static_cast<int64_t>(
+        intField(spec, index, "timeout_ms", -1, -1, 86400000));
+    job.retries = static_cast<int32_t>(
+        intField(spec, index, "retries", -1, -1, 100));
+
     job.id = stringField(spec, index, "id",
                          job.workload + "/" +
                              compress::schemeCliName(job.config.scheme) +
@@ -395,6 +406,44 @@ interpretJob(const JsonValue &spec, size_t index)
 }
 
 } // namespace
+
+std::string
+writeJobSpec(const std::vector<FarmJob> &jobs)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("jobs");
+    json.beginArray();
+    for (const FarmJob &job : jobs) {
+        json.beginObject();
+        json.member("workload", job.workload);
+        json.member("scale", job.scale);
+        json.member("scheme", compress::schemeCliName(job.config.scheme));
+        json.member("strategy",
+                    compress::strategyName(job.config.strategy));
+        // The pipeline clips maxEntries to the scheme's codeword
+        // budget; emit the clipped value so the spec re-parses under
+        // the field's scheme-dependent range check.
+        json.member("max_entries",
+                    std::min(job.config.maxEntries,
+                             static_cast<uint32_t>(
+                                 compress::schemeParams(job.config.scheme)
+                                     .maxCodewords)));
+        json.member("max_len", job.config.maxEntryLen);
+        json.member("assumed_codeword_nibbles",
+                    job.config.assumedCodewordNibbles);
+        json.member("refit_max_rounds", job.config.refitMaxRounds);
+        if (job.timeoutMs >= 0)
+            json.member("timeout_ms", job.timeoutMs);
+        if (job.retries >= 0)
+            json.member("retries", static_cast<int>(job.retries));
+        json.member("id", job.id);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
 
 std::vector<FarmJob>
 parseJobSpec(const std::string &text)

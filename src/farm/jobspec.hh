@@ -44,6 +44,12 @@ namespace codecomp::farm {
  *  on any structural or value error). */
 std::vector<FarmJob> parseJobSpec(const std::string &text);
 
+/** Serialize @p jobs as a job-spec document that parseJobSpec accepts
+ *  and that reproduces the queue exactly (the farm's worker protocol
+ *  ships one-job specs across the process boundary this way).
+ *  "timeout_ms"/"retries" are emitted only when set (>= 0). */
+std::string writeJobSpec(const std::vector<FarmJob> &jobs);
+
 } // namespace codecomp::farm
 
 #endif // CODECOMP_FARM_JOBSPEC_HH

@@ -1,0 +1,277 @@
+#include "farm/worker.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "compress/codec.hh"
+#include "compress/strategy.hh"
+#include "decompress/fault.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace codecomp::farm {
+
+namespace {
+
+/**
+ * Result-file layout (big-endian, support/serialize.hh):
+ *
+ *   u32  magic   "CCWR"
+ *   u16  version (kWorkerVersion)
+ *   blob payload (the serialized WorkerResult; doubles as raw bits)
+ *   u64  checksum = fnv1a64(payload)
+ */
+constexpr uint32_t kWorkerMagic = 0x43435752; // "CCWR"
+constexpr uint16_t kWorkerVersion = 1;
+
+uint64_t
+doubleBits(double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+void
+putStats(ByteSink &sink, const compress::PipelineStats &stats)
+{
+    sink.putString(stats.strategy);
+    sink.putString(stats.scheme);
+    sink.put32(stats.selectionRounds);
+    sink.put32(static_cast<uint32_t>(stats.passes.size()));
+    for (const compress::PassStats &pass : stats.passes) {
+        sink.putString(pass.name);
+        sink.put64(doubleBits(pass.millis));
+        sink.put32(static_cast<uint32_t>(pass.counters.size()));
+        for (const auto &[name, value] : pass.counters) {
+            sink.putString(name);
+            sink.put64(value);
+        }
+    }
+}
+
+compress::PipelineStats
+getStats(ByteSource &source)
+{
+    compress::PipelineStats stats;
+    stats.strategy = source.getString();
+    stats.scheme = source.getString();
+    stats.selectionRounds = source.get32();
+    stats.passes.resize(source.get32());
+    for (compress::PassStats &pass : stats.passes) {
+        pass.name = source.getString();
+        pass.millis = bitsDouble(source.get64());
+        pass.counters.resize(source.get32());
+        for (auto &[name, value] : pass.counters) {
+            name = source.getString();
+            value = source.get64();
+        }
+    }
+    return stats;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serializeWorkerResult(const WorkerResult &worker)
+{
+    const FarmJobResult &r = worker.result;
+    ByteSink payload;
+    payload.putString(r.id);
+    payload.putString(r.workload);
+    payload.putString(r.scheme);
+    payload.putString(r.strategy);
+    payload.putString(r.error);
+    payload.put8(static_cast<uint8_t>(r.failureKind));
+    payload.put32(r.attempts);
+    payload.put64(r.imageFnv64);
+    payload.put64(r.totalBytes);
+    payload.put64(r.textBytes);
+    payload.put64(r.dictBytes);
+    payload.put64(doubleBits(r.ratio));
+    payload.put32(r.farBranchExpansions);
+    payload.putBlob(r.imageBytes);
+    putStats(payload, r.stats);
+    payload.put64(doubleBits(r.millis));
+    const compress::PipelineCache::Stats &cs = worker.cacheStats;
+    for (uint64_t field :
+         {cs.enumHits, cs.enumMisses, cs.selectHits, cs.selectMisses,
+          cs.evictions, cs.persistHits, cs.persistMisses,
+          cs.persistStores, cs.persistCorrupt})
+        payload.put64(field);
+
+    ByteSink sink;
+    sink.put32(kWorkerMagic);
+    sink.put16(kWorkerVersion);
+    uint64_t checksum = fnv1a64(payload.bytes());
+    sink.putBlob(payload.take());
+    sink.put64(checksum);
+    return sink.take();
+}
+
+Result<WorkerResult>
+parseWorkerResult(const std::vector<uint8_t> &bytes)
+{
+    try {
+        ByteSource source(bytes);
+        source.setContext("worker result header");
+        if (source.get32() != kWorkerMagic)
+            return LoadError{LoadStatus::BadMagic, 0,
+                             "worker result header",
+                             "not a worker result file"};
+        if (source.get16() != kWorkerVersion)
+            return LoadError{LoadStatus::BadVersion, 4,
+                             "worker result header",
+                             "unsupported worker result version"};
+        std::vector<uint8_t> payload = source.getBlob();
+        uint64_t checksum = source.get64();
+        if (!source.atEnd())
+            return LoadError{LoadStatus::TrailingBytes, source.pos(),
+                             "worker result", "trailing bytes"};
+        if (fnv1a64(payload) != checksum)
+            return LoadError{LoadStatus::BadChecksum, 0,
+                             "worker result payload",
+                             "payload checksum mismatch"};
+
+        ByteSource body(payload);
+        body.setContext("worker result payload");
+        WorkerResult worker;
+        FarmJobResult &r = worker.result;
+        r.id = body.getString();
+        r.workload = body.getString();
+        r.scheme = body.getString();
+        r.strategy = body.getString();
+        r.error = body.getString();
+        uint8_t kind = body.get8();
+        if (kind > static_cast<uint8_t>(FailureKind::SpecError))
+            return LoadError{LoadStatus::BadValue, body.pos(),
+                             "worker result payload",
+                             "failure kind out of range"};
+        r.failureKind = static_cast<FailureKind>(kind);
+        r.attempts = body.get32();
+        r.imageFnv64 = body.get64();
+        r.totalBytes = body.get64();
+        r.textBytes = body.get64();
+        r.dictBytes = body.get64();
+        r.ratio = bitsDouble(body.get64());
+        r.farBranchExpansions = body.get32();
+        r.imageBytes = body.getBlob();
+        r.stats = getStats(body);
+        r.millis = bitsDouble(body.get64());
+        for (uint64_t *field :
+             {&worker.cacheStats.enumHits, &worker.cacheStats.enumMisses,
+              &worker.cacheStats.selectHits,
+              &worker.cacheStats.selectMisses,
+              &worker.cacheStats.evictions,
+              &worker.cacheStats.persistHits,
+              &worker.cacheStats.persistMisses,
+              &worker.cacheStats.persistStores,
+              &worker.cacheStats.persistCorrupt})
+            *field = body.get64();
+        if (!body.atEnd())
+            return LoadError{LoadStatus::TrailingBytes, body.pos(),
+                             "worker result payload", "trailing bytes"};
+        return worker;
+    } catch (const LoadFailure &failure) {
+        return failure.error();
+    } catch (const std::exception &error) {
+        // bad_alloc from an absurd declared count, etc.
+        return LoadError{LoadStatus::BadValue, 0, "worker result",
+                         error.what()};
+    }
+}
+
+WorkerResult
+runWorkerJob(const FarmJob &job, const std::string &cacheDir,
+             bool keepImages, InjectKind inject)
+{
+    WorkerResult worker;
+    FarmJobResult &result = worker.result;
+    result.id = job.id;
+    result.workload = job.workload;
+    result.scheme = compress::schemeCliName(job.config.scheme);
+    result.strategy = compress::strategyName(job.config.strategy);
+    try {
+        Program program =
+            workloads::buildBenchmark(job.workload, job.scale);
+
+        // Deliberate faults for the self-test campaign, placed mid-job
+        // (after the expensive build) so a kill interrupts real work.
+        if (inject == InjectKind::Crash)
+            std::abort();
+        if (inject == InjectKind::Hang)
+            for (;;)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+
+        compress::PipelineCache cache;
+        compress::PipelineCache *cachePtr = nullptr;
+        if (!cacheDir.empty() && cache.setDiskStore(cacheDir))
+            cachePtr = &cache;
+        uint64_t hash =
+            cachePtr ? compress::PipelineCache::programHash(program) : 0;
+        result = runFarmJob(job, program, hash, cachePtr, keepImages);
+        worker.cacheStats = cache.stats();
+    } catch (const MachineCheckError &error) {
+        result.error = error.what();
+        result.failureKind = FailureKind::MachineCheck;
+    } catch (const PanicError &) {
+        throw; // a library bug: let the worker exit 3 (Crash)
+    } catch (const LoadFailure &failure) {
+        result.error = failure.what();
+        result.failureKind = FailureKind::LoadError;
+    } catch (const std::exception &error) {
+        result.error = error.what();
+        result.failureKind = FailureKind::SpecError;
+    }
+    return worker;
+}
+
+FailureKind
+classifyWorkerOutcome(const SubprocessResult &spawn, bool resultOk,
+                      const WorkerResult &result)
+{
+    switch (spawn.outcome) {
+      case SubprocessResult::Outcome::TimedOut:
+        return FailureKind::Timeout;
+      case SubprocessResult::Outcome::Signaled:
+        return FailureKind::Crash;
+      case SubprocessResult::Outcome::SpawnFailed:
+        return FailureKind::LoadError;
+      case SubprocessResult::Outcome::Exited:
+        break;
+    }
+    switch (spawn.exitCode) {
+      case 0:
+        if (!resultOk)
+            return FailureKind::LoadError;
+        if (result.result.error.empty())
+            return FailureKind::None;
+        // An in-band failure carries its own kind (SpecError for a
+        // plain job error, LoadError/MachineCheck if the worker
+        // classified it).
+        return result.result.failureKind == FailureKind::None
+                   ? FailureKind::SpecError
+                   : result.result.failureKind;
+      case 2:
+        return FailureKind::MachineCheck; // tool exit contract
+      case 1:
+      case 127:
+        return FailureKind::LoadError; // load/spawn-level failure
+      default:
+        return FailureKind::Crash; // panic (3) or an abrupt exit
+    }
+}
+
+} // namespace codecomp::farm

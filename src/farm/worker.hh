@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The farm's worker protocol: how an isolated job crosses the process
+ * boundary.
+ *
+ * The parent writes a one-job spec file (jobspec.hh), spawns the
+ * ccfarm binary in --worker mode, and reads back a checksummed binary
+ * result file. The result file carries everything jobRecordJson needs
+ * -- sizes, the image bytes and digest, the full PipelineStats, the
+ * worker's cache counters -- with doubles transported as raw bits so
+ * the deterministic report half is byte-identical to an inline run.
+ *
+ * The file is written temp + atomic rename by the worker; the parent
+ * treats it as untrusted (a worker may have been killed mid-write):
+ * magic, version, whole-payload FNV-1a64 checksum, and structural
+ * parsing all gate acceptance, and any deviation is a classified
+ * per-job LoadError failure, never a parent crash.
+ */
+
+#ifndef CODECOMP_FARM_WORKER_HH
+#define CODECOMP_FARM_WORKER_HH
+
+#include <string>
+#include <vector>
+
+#include "farm/farm.hh"
+#include "support/serialize.hh"
+#include "support/subprocess.hh"
+
+namespace codecomp::farm {
+
+/** What a worker subprocess reports back: the job result plus its
+ *  own PipelineCache counters (aggregated into the farm report). */
+struct WorkerResult
+{
+    FarmJobResult result;
+    compress::PipelineCache::Stats cacheStats;
+};
+
+/** Serialize @p result into the worker result-file format. */
+std::vector<uint8_t> serializeWorkerResult(const WorkerResult &result);
+
+/** Parse an untrusted worker result file; every structural problem is
+ *  a typed LoadError, never an abort. */
+Result<WorkerResult> parseWorkerResult(const std::vector<uint8_t> &bytes);
+
+/**
+ * Execute one job in this process on behalf of --worker mode: build
+ * the program, optionally attach a persistent cache at @p cacheDir,
+ * run the pipeline, and capture any catchable failure in-band (with
+ * its FailureKind) so the parent can distinguish a deterministic
+ * SpecError from retryable faults. @p inject deliberately crashes
+ * (abort) or hangs (sleep forever) mid-job for the fault-injection
+ * campaign.
+ */
+WorkerResult runWorkerJob(const FarmJob &job, const std::string &cacheDir,
+                          bool keepImages,
+                          InjectKind inject = InjectKind::None);
+
+/**
+ * Classify a finished worker subprocess: @p spawn outcome/exit code x
+ * whether the result file parsed (@p resultOk) and carried an in-band
+ * failure. Returns FailureKind::None only for a clean, parsed,
+ * error-free result.
+ */
+FailureKind classifyWorkerOutcome(const SubprocessResult &spawn,
+                                  bool resultOk,
+                                  const WorkerResult &result);
+
+} // namespace codecomp::farm
+
+#endif // CODECOMP_FARM_WORKER_HH

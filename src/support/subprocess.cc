@@ -1,0 +1,137 @@
+#include "support/subprocess.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace codecomp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** dup2 an opened-for-append file over @p fd; called between fork and
+ *  exec, so only async-signal-safe calls. Returns false on failure. */
+bool
+redirectFd(const char *path, int fd)
+{
+    int file = ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (file < 0)
+        return false;
+    bool ok = ::dup2(file, fd) >= 0;
+    ::close(file);
+    return ok;
+}
+
+} // namespace
+
+const char *
+subprocessOutcomeName(SubprocessResult::Outcome outcome)
+{
+    switch (outcome) {
+      case SubprocessResult::Outcome::Exited:
+        return "exited";
+      case SubprocessResult::Outcome::Signaled:
+        return "signaled";
+      case SubprocessResult::Outcome::TimedOut:
+        return "timed_out";
+      case SubprocessResult::Outcome::SpawnFailed:
+        return "spawn_failed";
+    }
+    return "?";
+}
+
+SubprocessResult
+runSubprocess(const std::vector<std::string> &argv,
+              const SubprocessOptions &options)
+{
+    SubprocessResult result;
+    Clock::time_point start = Clock::now();
+    if (argv.empty()) {
+        result.error = "empty argv";
+        return result;
+    }
+
+    std::vector<char *> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        args.push_back(const_cast<char *>(arg.c_str()));
+    args.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        result.error = std::strerror(errno);
+        return result;
+    }
+    if (pid == 0) {
+        // Child: redirect, exec, and on any failure exit with a code
+        // the parent cannot confuse with the tool exit contract (0-3).
+        if (!options.stdoutPath.empty() &&
+            !redirectFd(options.stdoutPath.c_str(), STDOUT_FILENO))
+            ::_exit(127);
+        if (!options.stderrPath.empty() &&
+            !redirectFd(options.stderrPath.c_str(), STDERR_FILENO))
+            ::_exit(127);
+        ::execv(args[0], args.data());
+        ::_exit(127);
+    }
+
+    // Parent: poll for exit; past the deadline, SIGKILL and reap. The
+    // poll interval is short enough that deadline overshoot is noise
+    // next to the multi-millisecond jobs the farm runs.
+    int status = 0;
+    bool killed = false;
+    for (;;) {
+        pid_t waited = ::waitpid(pid, &status, WNOHANG);
+        if (waited == pid)
+            break;
+        if (waited < 0 && errno != EINTR) {
+            result.error = std::strerror(errno);
+            return result;
+        }
+        if (!killed && options.timeoutMs > 0 &&
+            millisSince(start) >= static_cast<double>(options.timeoutMs)) {
+            ::kill(pid, SIGKILL);
+            killed = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    result.millis = millisSince(start);
+    if (killed) {
+        result.outcome = SubprocessResult::Outcome::TimedOut;
+    } else if (WIFSIGNALED(status)) {
+        result.outcome = SubprocessResult::Outcome::Signaled;
+        result.signal = WTERMSIG(status);
+    } else {
+        result.outcome = SubprocessResult::Outcome::Exited;
+        result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+    return result;
+}
+
+std::string
+selfExecutablePath()
+{
+    char buf[4096];
+    ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (len <= 0)
+        return "";
+    buf[len] = '\0';
+    return buf;
+}
+
+} // namespace codecomp

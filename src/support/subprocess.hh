@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal POSIX subprocess runner with a wall-clock deadline.
+ *
+ * The farm's process-isolation mode (src/farm) runs each compression
+ * job in a forked worker so a crash, panic, or OOM-kill in one job is
+ * an observable per-job outcome instead of the death of the whole run.
+ * This helper owns the fork/exec/wait machinery: spawn argv, optionally
+ * redirect stdout/stderr to files, poll for exit, and on deadline
+ * expiry SIGKILL the child and report TimedOut. Every outcome --
+ * normal exit, signal death, timeout, or spawn failure -- is a value,
+ * never an exception, so callers can build retry policies on top.
+ */
+
+#ifndef CODECOMP_SUPPORT_SUBPROCESS_HH
+#define CODECOMP_SUPPORT_SUBPROCESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace codecomp {
+
+struct SubprocessResult
+{
+    enum class Outcome : uint8_t {
+        Exited,      //!< child ran to completion; exitCode is valid
+        Signaled,    //!< child died on a signal; signal is valid
+        TimedOut,    //!< deadline expired; child was SIGKILLed
+        SpawnFailed, //!< fork/exec never happened; error is valid
+    };
+
+    Outcome outcome = Outcome::SpawnFailed;
+    int exitCode = -1;  //!< WEXITSTATUS when Exited
+    int signal = 0;     //!< WTERMSIG when Signaled
+    std::string error;  //!< strerror text when SpawnFailed
+    double millis = 0.0; //!< child wall time
+
+    bool ok() const { return outcome == Outcome::Exited && exitCode == 0; }
+};
+
+const char *subprocessOutcomeName(SubprocessResult::Outcome outcome);
+
+struct SubprocessOptions
+{
+    /** Wall-clock deadline in milliseconds; 0 waits forever. */
+    uint64_t timeoutMs = 0;
+
+    /** Redirect the child's stdout/stderr to these paths (empty =
+     *  inherit the parent's). */
+    std::string stdoutPath;
+    std::string stderrPath;
+};
+
+/**
+ * Run @p argv (argv[0] is the executable path) and wait for it under
+ * @p options. The child is always reaped before returning; a timed-out
+ * child is SIGKILLed first, so no zombie or runaway worker survives
+ * the call.
+ */
+SubprocessResult runSubprocess(const std::vector<std::string> &argv,
+                               const SubprocessOptions &options = {});
+
+/** Absolute path of the running executable (/proc/self/exe), or ""
+ *  when the platform cannot say. */
+std::string selfExecutablePath();
+
+} // namespace codecomp
+
+#endif // CODECOMP_SUPPORT_SUBPROCESS_HH

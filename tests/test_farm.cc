@@ -305,4 +305,78 @@ TEST(JobSpec, RejectsBadFieldValues)
                  std::runtime_error);
 }
 
+TEST(JobSpec, TimeoutAndRetriesFields)
+{
+    // Absent: both defer to the farm defaults (-1).
+    std::vector<farm::FarmJob> defaults =
+        farm::parseJobSpec(R"({"jobs":[{"workload":"gcc"}]})");
+    EXPECT_EQ(defaults[0].timeoutMs, -1);
+    EXPECT_EQ(defaults[0].retries, -1);
+
+    // Present: carried through, including the explicit zeros ("no
+    // deadline" / "no retries").
+    std::vector<farm::FarmJob> set = farm::parseJobSpec(
+        R"({"jobs":[{"workload":"gcc","timeout_ms":2500,"retries":3},)"
+        R"({"workload":"li","timeout_ms":0,"retries":0}]})");
+    EXPECT_EQ(set[0].timeoutMs, 2500);
+    EXPECT_EQ(set[0].retries, 3);
+    EXPECT_EQ(set[1].timeoutMs, 0);
+    EXPECT_EQ(set[1].retries, 0);
+
+    // Out-of-range and non-integer values are rejected.
+    EXPECT_THROW(farm::parseJobSpec(
+                     R"({"jobs":[{"workload":"gcc","timeout_ms":-2}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        farm::parseJobSpec(
+            R"({"jobs":[{"workload":"gcc","timeout_ms":86400001}]})"),
+        std::runtime_error);
+    EXPECT_THROW(farm::parseJobSpec(
+                     R"({"jobs":[{"workload":"gcc","retries":101}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(farm::parseJobSpec(
+                     R"({"jobs":[{"workload":"gcc","retries":1.5}]})"),
+                 std::runtime_error);
+}
+
+TEST(JobSpec, WriteJobSpecRoundTripsTheQueue)
+{
+    std::vector<farm::FarmJob> jobs = farm::parseJobSpec(R"({
+      "jobs": [
+        { "workload": "li", "scale": 2, "scheme": "onebyte",
+          "strategy": "refit", "max_entries": 20, "max_len": 3,
+          "refit_max_rounds": 2, "timeout_ms": 1000, "retries": 2,
+          "repeat": 2 },
+        { "workload": "perl", "id": "custom-name" }
+      ]
+    })");
+    std::vector<farm::FarmJob> again =
+        farm::parseJobSpec(farm::writeJobSpec(jobs));
+    ASSERT_EQ(again.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(again[i].id, jobs[i].id);
+        EXPECT_EQ(again[i].workload, jobs[i].workload);
+        EXPECT_EQ(again[i].scale, jobs[i].scale);
+        EXPECT_EQ(again[i].timeoutMs, jobs[i].timeoutMs);
+        EXPECT_EQ(again[i].retries, jobs[i].retries);
+        EXPECT_EQ(again[i].config.scheme, jobs[i].config.scheme);
+        EXPECT_EQ(again[i].config.strategy, jobs[i].config.strategy);
+        EXPECT_EQ(again[i].config.maxEntries, jobs[i].config.maxEntries);
+        EXPECT_EQ(again[i].config.maxEntryLen,
+                  jobs[i].config.maxEntryLen);
+        EXPECT_EQ(again[i].config.refitMaxRounds,
+                  jobs[i].config.refitMaxRounds);
+    }
+
+    // The starter corpus round-trips too, even where its maxEntries
+    // exceeds a scheme's codeword budget (the writer emits the value
+    // the pipeline would clip to).
+    std::vector<farm::FarmJob> corpus = farm::starterCorpus();
+    std::vector<farm::FarmJob> corpusAgain =
+        farm::parseJobSpec(farm::writeJobSpec(corpus));
+    ASSERT_EQ(corpusAgain.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_EQ(corpusAgain[i].id, corpus[i].id);
+}
+
 } // namespace
