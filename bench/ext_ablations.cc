@@ -12,6 +12,11 @@
  * A4  Selection strategy sweep: greedy vs rank-aware iterative refit
  *     under the nibble scheme, with per-pass pipeline timing emitted as
  *     PERF_JSON lines for the bench trajectory.
+ *
+ * A3 and A4 run as one farm batch (farm::runFarm): the shared
+ * PipelineCache enumerates each workload once for the whole sweep --
+ * enumeration keys are scheme-independent -- and the A4 greedy point
+ * is a select-cache hit off A3's full-cap nibble job.
  */
 
 #include <algorithm>
@@ -19,6 +24,7 @@
 #include "compress/compressor.hh"
 #include "compress/greedy.hh"
 #include "compress/pipeline.hh"
+#include "farm/farm.hh"
 #include "common.hh"
 
 using namespace codecomp;
@@ -90,8 +96,9 @@ selectByStaticRank(const Program &program, const GreedyConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initJobs(argc, argv);
     banner("Ablation A1", "greedy vs static-rank selection (baseline, "
                           "8192 codewords)");
     std::printf("%-9s %10s %12s\n", "bench", "greedy", "static-rank");
@@ -125,21 +132,52 @@ main()
                     nibbles == 2 ? "   (default)" : "");
     }
 
+    // A3 + A4 as one farm batch: queue A3's workload x scheme grid
+    // (full dictionary, greedy) and A4's workload x strategy pairs
+    // (nibble, 4680), then read both tables out of one report.
+    const std::vector<std::string> &names = workloads::benchmarkNames();
+    const std::vector<const SchemeCodec *> &codecs = allCodecs();
+    const StrategyKind sweepStrategies[] = {StrategyKind::Greedy,
+                                            StrategyKind::IterativeRefit};
+    std::vector<farm::FarmJob> jobs;
+    for (const std::string &name : names) {
+        for (const SchemeCodec *codec : codecs) {
+            farm::FarmJob job;
+            job.id = "a3/" + name + "/" +
+                     std::string(codec->cliName());
+            job.workload = name;
+            job.config.scheme = codec->id();
+            job.config.maxEntries = codec->params().maxCodewords;
+            jobs.push_back(std::move(job));
+        }
+    }
+    size_t a4Base = jobs.size();
+    for (const std::string &name : names) {
+        for (StrategyKind strategy : sweepStrategies) {
+            farm::FarmJob job;
+            job.id = "a4/" + name + "/" + strategyName(strategy);
+            job.workload = name;
+            job.config.scheme = Scheme::Nibble;
+            job.config.maxEntries = 4680;
+            job.config.strategy = strategy;
+            jobs.push_back(std::move(job));
+        }
+    }
+    farm::FarmOptions options;
+    options.keepImages = false; // only sizes and stats are read back
+    farm::FarmReport report = farm::runFarm(jobs, options);
+
     banner("Ablation A3", "far-branch stub rewrites per scheme");
     std::printf("%-9s", "bench");
-    for (const SchemeCodec *codec : allCodecs())
+    for (const SchemeCodec *codec : codecs)
         std::printf(" %10s", std::string(codec->cliName()).c_str());
     std::printf("\n");
-    for (const auto &[name, program] : buildSuite()) {
-        std::printf("%-9s", name.c_str());
-        for (const SchemeCodec *codec : allCodecs()) {
-            CompressorConfig config;
-            config.scheme = codec->id();
-            config.maxEntries = codec->params().maxCodewords;
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::printf("%-9s", names[w].c_str());
+        for (size_t c = 0; c < codecs.size(); ++c)
             std::printf(" %10u",
-                        compressProgram(program, config)
+                        report.results[w * codecs.size() + c]
                             .farBranchExpansions);
-        }
         std::printf("\n");
     }
     std::printf("note: 0 everywhere means every branch kept offset range "
@@ -150,33 +188,32 @@ main()
            "selection strategy sweep: greedy vs iterative refit (nibble)");
     std::printf("%-9s %10s %10s %8s %7s\n", "bench", "greedy", "refit",
                 "delta", "rounds");
-    for (const auto &[name, program] : buildSuite()) {
-        size_t bytes[2];
-        PipelineStats stats[2];
-        int i = 0;
-        for (StrategyKind strategy :
-             {StrategyKind::Greedy, StrategyKind::IterativeRefit}) {
-            CompressorConfig config;
-            config.scheme = Scheme::Nibble;
-            config.maxEntries = 4680;
-            config.strategy = strategy;
-            bytes[i] = compressProgram(program, config, &stats[i])
-                           .totalBytes();
+    for (size_t w = 0; w < names.size(); ++w) {
+        const farm::FarmJobResult *pair[2];
+        for (size_t s = 0; s < 2; ++s) {
+            pair[s] = &report.results[a4Base + w * 2 + s];
             std::printf("PERF_JSON: {\"bench\":\"strategy_sweep\","
-                        "\"workload\":\"%s\",\"total_bytes\":%zu,"
+                        "\"workload\":\"%s\",\"total_bytes\":%llu,"
                         "\"pipeline\":%s}\n",
-                        name.c_str(), bytes[i],
-                        stats[i].toJson().c_str());
-            ++i;
+                        names[w].c_str(),
+                        static_cast<unsigned long long>(
+                            pair[s]->totalBytes),
+                        pair[s]->stats.toJson().c_str());
         }
-        std::printf("%-9s %10zu %10zu %8lld %7u\n", name.c_str(),
-                    bytes[0], bytes[1],
-                    static_cast<long long>(bytes[1]) -
-                        static_cast<long long>(bytes[0]),
-                    stats[1].selectionRounds);
+        std::printf("%-9s %10llu %10llu %8lld %7u\n", names[w].c_str(),
+                    static_cast<unsigned long long>(pair[0]->totalBytes),
+                    static_cast<unsigned long long>(pair[1]->totalBytes),
+                    static_cast<long long>(pair[1]->totalBytes) -
+                        static_cast<long long>(pair[0]->totalBytes),
+                    pair[1]->stats.selectionRounds);
     }
     std::printf("note: refit re-runs greedy selection under corrected "
                 "codeword costs; delta < 0 means the refit image is "
-                "smaller\n");
+                "smaller; the whole A3+A4 grid ran as one farm batch "
+                "(%llu enum hits, %llu select hits)\n",
+                static_cast<unsigned long long>(
+                    report.cacheStats.enumHits),
+                static_cast<unsigned long long>(
+                    report.cacheStats.selectHits));
     return 0;
 }

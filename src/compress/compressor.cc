@@ -4,6 +4,26 @@
 
 namespace codecomp::compress {
 
+const char *
+layoutModeName(LayoutMode mode)
+{
+    switch (mode) {
+    case LayoutMode::Linear: return "linear";
+    case LayoutMode::HotCold: return "hotcold";
+    }
+    return "?";
+}
+
+std::optional<LayoutMode>
+parseLayoutModeName(std::string_view name)
+{
+    if (name == "linear")
+        return LayoutMode::Linear;
+    if (name == "hotcold")
+        return LayoutMode::HotCold;
+    return std::nullopt;
+}
+
 CompressedImage
 compressProgram(const Program &program, const CompressorConfig &config)
 {

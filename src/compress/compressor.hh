@@ -18,12 +18,40 @@
 #ifndef CODECOMP_COMPRESS_COMPRESSOR_HH
 #define CODECOMP_COMPRESS_COMPRESSOR_HH
 
+#include <optional>
+#include <string_view>
+#include <vector>
+
 #include "compress/image.hh"
 #include "compress/strategy.hh"
 
 namespace codecomp::compress {
 
 struct PipelineStats;
+
+/**
+ * Code-placement policy applied by the Layout pass.
+ *
+ * Linear keeps the original instruction order. HotCold reorders
+ * fall-through chains (maximal item runs that can only be entered at
+ * the top and left by a branch at the bottom) by descending traffic
+ * density, so the hottest code packs into the fewest cache lines;
+ * cold chains keep their original relative order. Requires a traffic
+ * profile (CompressorConfig::trafficProfile) and is semantics-
+ * preserving: chains are broken only after instructions that cannot
+ * fall through, and branch patching is address-map driven, so the
+ * reordered image executes identically.
+ */
+enum class LayoutMode : uint8_t {
+    Linear,
+    HotCold,
+};
+
+/** CLI name of @p mode: "linear" or "hotcold". */
+const char *layoutModeName(LayoutMode mode);
+
+/** Inverse of layoutModeName; nullopt for unknown names. */
+std::optional<LayoutMode> parseLayoutModeName(std::string_view name);
 
 struct CompressorConfig
 {
@@ -45,6 +73,17 @@ struct CompressorConfig
 
     /** Refit iteration bound when strategy == IterativeRefit. */
     uint32_t refitMaxRounds = 6;
+
+    /** Code-placement policy for the Layout pass. */
+    LayoutMode layout = LayoutMode::Linear;
+
+    /** Per-instruction execution counts (index = original instruction
+     *  index), e.g. from timing::profileExecutionCounts. Required to
+     *  cover the whole program when layout == HotCold (catchable fatal
+     *  otherwise); ignored under Linear. Not part of the selection
+     *  cache key: layout runs after Select, so profile-guided sweeps
+     *  still share cached enumeration/selection work. */
+    std::vector<uint64_t> trafficProfile;
 };
 
 /** Compress @p program; the result is executable on CompressedCpu. */

@@ -20,6 +20,35 @@ dispBits(const isa::Inst &inst)
     return inst.op == isa::Op::B ? 24 : 14;
 }
 
+/** True when execution can continue past @p word into the next
+ *  sequential instruction. Conservative: anything that is not an
+ *  unconditional non-linking branch is assumed to fall through. */
+bool
+canFallThrough(isa::Word word)
+{
+    isa::Inst inst = isa::decode(word);
+    if (inst.lk)
+        return true; // calls resume at the next sequential address
+    if (inst.op == isa::Op::B)
+        return false;
+    if ((inst.op == isa::Op::Bc || inst.op == isa::Op::Bclr ||
+         inst.op == isa::Op::Bcctr) &&
+        inst.bo == static_cast<uint8_t>(isa::Bo::Always))
+        return false;
+    return true;
+}
+
+/** True when the far-branch expander (LayoutWork::expand) can rewrite
+ *  @p inst through an absolute-target stub. */
+bool
+farExpandable(const isa::Inst &inst)
+{
+    if (inst.op == isa::Op::B)
+        return true;
+    return inst.op == isa::Op::Bc && !inst.lk &&
+           inst.bo != static_cast<uint8_t>(isa::Bo::DecNz);
+}
+
 } // namespace
 
 /** One slot of the compressed layout. */
@@ -106,6 +135,135 @@ struct LayoutWork
             addr += itemNibbles(items_[i]);
         }
         total_nibbles_ = addr;
+    }
+
+    /**
+     * Profile-guided hot/cold reordering (LayoutMode::HotCold): split
+     * the item list into fall-through chains -- maximal runs broken
+     * only after instructions that cannot fall through -- sort the hot
+     * chains by descending traffic density so the hottest code packs
+     * into the fewest cache lines, and append the cold chains in their
+     * original order. Execution never crosses a chain boundary
+     * sequentially and branch patching is address-map driven, so the
+     * reordered image runs identically.
+     *
+     * If the new placement would strand a branch the far expander
+     * cannot rewrite (bcl, bdnz) out of displacement range, the whole
+     * reorder is abandoned and the original order restored
+     * (@p reverted). Returns the number of chains that moved.
+     */
+    uint32_t
+    reorderHotCold(const SelectionResult &selection,
+                   const std::vector<uint64_t> &profile, bool *reverted)
+    {
+        *reverted = false;
+        if (items_.empty())
+            return 0;
+        uint32_t n = static_cast<uint32_t>(program_.text.size());
+
+        struct Chain
+        {
+            size_t first = 0, last = 0; //!< inclusive item range
+            unsigned __int128 traffic = 0;
+            uint64_t nibbles = 0;
+            bool fallsThrough = false;
+        };
+        std::vector<Chain> chains;
+        Chain current;
+        current.first = 0;
+        for (size_t i = 0; i < items_.size(); ++i) {
+            const LayoutItem &item = items_[i];
+            uint32_t cover_end =
+                i + 1 < items_.size() ? items_[i + 1].origIndex : n;
+            for (uint32_t j = item.origIndex; j < cover_end; ++j)
+                current.traffic += profile[j];
+            current.nibbles += itemNibbles(item);
+            current.last = i;
+            // A codeword can only end a chain through its entry's final
+            // instruction (candidates never span block boundaries, so a
+            // terminator can only be the last word).
+            isa::Word last_word =
+                item.kind == LayoutItem::Kind::Codeword
+                    ? selection.dict.entries[item.entryId].back()
+                    : item.word;
+            bool falls = canFallThrough(last_word);
+            if (!falls || i + 1 == items_.size()) {
+                current.fallsThrough = falls;
+                chains.push_back(current);
+                current = Chain{};
+                current.first = i + 1;
+            }
+        }
+        if (chains.size() < 2)
+            return 0;
+
+        // Only the text-final chain can end with a fall-through (e.g. a
+        // halting syscall); pin it last so nothing lands after it.
+        size_t pinned = chains.back().fallsThrough
+                            ? chains.size() - 1
+                            : SIZE_MAX;
+        std::vector<size_t> hot, cold;
+        for (size_t c = 0; c < chains.size(); ++c) {
+            if (c == pinned)
+                continue;
+            (chains[c].traffic > 0 ? hot : cold).push_back(c);
+        }
+        std::stable_sort(hot.begin(), hot.end(),
+                         [&chains](size_t a, size_t b) {
+                             return chains[a].traffic * chains[b].nibbles >
+                                    chains[b].traffic * chains[a].nibbles;
+                         });
+        std::vector<size_t> order;
+        order.reserve(chains.size());
+        order.insert(order.end(), hot.begin(), hot.end());
+        order.insert(order.end(), cold.begin(), cold.end());
+        if (pinned != SIZE_MAX)
+            order.push_back(pinned);
+
+        uint32_t moved = 0;
+        for (size_t k = 0; k < order.size(); ++k)
+            moved += order[k] != k;
+        if (moved == 0)
+            return 0;
+
+        std::vector<LayoutItem> original = items_;
+        std::vector<LayoutItem> next;
+        next.reserve(items_.size());
+        for (size_t chain_index : order) {
+            const Chain &chain = chains[chain_index];
+            for (size_t i = chain.first; i <= chain.last; ++i)
+                next.push_back(original[i]);
+        }
+        items_ = std::move(next);
+        assignAddresses();
+
+        // Trial-expand to fixpoint on a scratch copy: prove the far
+        // expander can reach every stranded branch before committing.
+        std::vector<LayoutItem> placed = items_;
+        bool ok = true;
+        for (;;) {
+            std::vector<size_t> far = findFarBranches();
+            if (far.empty())
+                break;
+            for (size_t i : far)
+                if (!farExpandable(isa::decode(items_[i].word))) {
+                    ok = false;
+                    break;
+                }
+            if (!ok)
+                break;
+            expand(far);
+            assignAddresses();
+        }
+        if (!ok) {
+            *reverted = true;
+            items_ = std::move(original);
+            assignAddresses();
+            return 0;
+        }
+        items_ = std::move(placed);
+        assignAddresses();
+        return moved;
     }
 
   private:
@@ -412,6 +570,21 @@ passLayout(PipelineContext &ctx)
                                               ctx.selection,
                                               ctx.image.rankOfEntry);
     ctx.layout->assignAddresses();
+    if (ctx.config.layout == LayoutMode::HotCold) {
+        if (ctx.config.trafficProfile.size() != ctx.program.text.size())
+            CC_FATAL("hotcold layout needs a traffic profile covering "
+                     "the program (got ",
+                     ctx.config.trafficProfile.size(), " counts for ",
+                     ctx.program.text.size(),
+                     " instructions); run "
+                     "timing::profileExecutionCounts first");
+        bool reverted = false;
+        uint32_t moved = ctx.layout->reorderHotCold(
+            ctx.selection, ctx.config.trafficProfile, &reverted);
+        ctx.counter("layout_chains_moved", moved);
+        if (reverted)
+            ctx.counter("layout_reverted", 1);
+    }
     ctx.counter("items", ctx.layout->items().size());
 }
 

@@ -231,6 +231,53 @@ parseStrategyName(std::string_view name)
     return std::nullopt;
 }
 
+const std::vector<StrategyKind> &
+allStrategyKinds()
+{
+    static const std::vector<StrategyKind> kinds = {
+        StrategyKind::Greedy,
+        StrategyKind::GreedyReference,
+        StrategyKind::IterativeRefit,
+    };
+    return kinds;
+}
+
+std::string
+strategyCliNames(const char *sep)
+{
+    std::string names;
+    for (StrategyKind kind : allStrategyKinds()) {
+        if (!names.empty())
+            names += sep;
+        names += strategyName(kind);
+    }
+    return names;
+}
+
+const char *
+strategySummary(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::Greedy:
+        return "lazy-heap greedy at the scheme's assumed codeword cost";
+      case StrategyKind::GreedyReference:
+        return "naive from-scratch greedy oracle (differential anchor)";
+      case StrategyKind::IterativeRefit:
+        return "rank-aware cost refit loop around greedy";
+    }
+    CC_PANIC("bad strategy kind");
+}
+
+StrategyKind
+parseStrategyNameOrFatal(std::string_view name)
+{
+    std::optional<StrategyKind> kind = parseStrategyName(name);
+    if (!kind)
+        CC_FATAL("unknown strategy \"", std::string(name),
+                 "\" (expected ", strategyCliNames(", "), ")");
+    return *kind;
+}
+
 std::unique_ptr<SelectionStrategy>
 makeStrategy(StrategyKind kind, const RefitOptions &refit)
 {

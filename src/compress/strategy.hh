@@ -32,6 +32,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "compress/candidates.hh"
@@ -51,6 +52,21 @@ const char *strategyName(StrategyKind kind);
 
 /** Inverse of strategyName; nullopt for an unknown name. */
 std::optional<StrategyKind> parseStrategyName(std::string_view name);
+
+/** Every registered strategy kind, in CLI-listing order. */
+const std::vector<StrategyKind> &allStrategyKinds();
+
+/** The CLI names of every strategy joined by @p sep, for usage text
+ *  and error messages ("greedy, reference, refit"). */
+std::string strategyCliNames(const char *sep = ", ");
+
+/** One-line description of @p kind (ccompress --list-strategies). */
+const char *strategySummary(StrategyKind kind);
+
+/** parseStrategyName that raises a catchable fatal naming the valid
+ *  set on an unknown name; the shared parse path of ccfarm/ccautotune
+ *  and the job-spec reader. */
+StrategyKind parseStrategyNameOrFatal(std::string_view name);
 
 class SelectionStrategy
 {

@@ -19,6 +19,7 @@
 #include "support/serialize.hh"
 #include "support/subprocess.hh"
 #include "support/thread_pool.hh"
+#include "timing/timing.hh"
 #include "workloads/workloads.hh"
 
 namespace codecomp::farm {
@@ -468,7 +469,14 @@ runFarmJob(const FarmJob &job, const Program &program,
     result.strategy = compress::strategyName(job.config.strategy);
     Clock::time_point jobStart = Clock::now();
     try {
-        compress::PipelineContext ctx(program, job.config);
+        // Profile-guided layout without a caller-supplied profile:
+        // profile here, where the built program is at hand, so job
+        // specs stay declarative (the profile itself is deterministic).
+        compress::CompressorConfig config = job.config;
+        if (config.layout == compress::LayoutMode::HotCold &&
+            config.trafficProfile.empty())
+            config.trafficProfile = timing::profileExecutionCounts(program);
+        compress::PipelineContext ctx(program, config);
         if (cache) {
             ctx.cache = cache;
             ctx.programHash = programHash;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "compress/compressor.hh"
 #include "compress/encoding.hh"
 #include "compress/strategy.hh"
 #include "support/json.hh"
@@ -346,8 +347,8 @@ interpretJob(const JsonValue &spec, size_t index)
         "workload", "scale",      "scheme",
         "strategy", "max_entries", "max_len",
         "assumed_codeword_nibbles", "refit_max_rounds",
-        "repeat",   "id",          "timeout_ms",
-        "retries",
+        "layout",   "repeat",      "id",
+        "timeout_ms", "retries",
     };
     for (const auto &[key, value] : spec.object) {
         (void)value;
@@ -375,8 +376,16 @@ interpretJob(const JsonValue &spec, size_t index)
     auto parsedStrategy = compress::parseStrategyName(strategy);
     if (!parsedStrategy)
         jobFail(index, "unknown strategy \"" + strategy +
-                           "\" (expected greedy, reference, or refit)");
+                           "\" (expected " +
+                           compress::strategyCliNames(", ") + ")");
     job.config.strategy = *parsedStrategy;
+
+    std::string layout = stringField(spec, index, "layout", "linear");
+    auto parsedLayout = compress::parseLayoutModeName(layout);
+    if (!parsedLayout)
+        jobFail(index, "unknown layout \"" + layout +
+                           "\" (expected linear or hotcold)");
+    job.config.layout = *parsedLayout;
 
     long maxCodewords =
         compress::schemeParams(job.config.scheme).maxCodewords;
@@ -433,6 +442,9 @@ writeJobSpec(const std::vector<FarmJob> &jobs)
         json.member("assumed_codeword_nibbles",
                     job.config.assumedCodewordNibbles);
         json.member("refit_max_rounds", job.config.refitMaxRounds);
+        if (job.config.layout != compress::LayoutMode::Linear)
+            json.member("layout",
+                        compress::layoutModeName(job.config.layout));
         if (job.timeoutMs >= 0)
             json.member("timeout_ms", job.timeoutMs);
         if (job.retries >= 0)

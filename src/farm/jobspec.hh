@@ -9,6 +9,7 @@
  *         "scale": 1,                        // generator scale, >= 1
  *         "scheme": "nibble",                // baseline|onebyte|nibble
  *         "strategy": "refit",               // greedy|reference|refit
+ *         "layout": "hotcold",               // linear|hotcold
  *         "max_entries": 4680,
  *         "max_len": 4,
  *         "assumed_codeword_nibbles": 0,

@@ -26,6 +26,30 @@ timingConfigError(const TimingConfig &config)
     if (config.decodedCacheRanks > 8192)
         return "decoded-cache ranks must be <= 8192 (the largest "
                "dictionary)";
+    if (config.hasL2()) {
+        std::string l2_error = cache::cacheConfigError(config.l2);
+        if (!l2_error.empty())
+            return "l2: " + l2_error;
+        if (config.l2.capacityBytes < config.icache.capacityBytes)
+            return "l2 capacity " +
+                   std::to_string(config.l2.capacityBytes) +
+                   " must be at least the L1 capacity " +
+                   std::to_string(config.icache.capacityBytes) +
+                   " (the hierarchy is inclusive)";
+        if (config.l2.lineBytes < config.icache.lineBytes)
+            return "l2 line " + std::to_string(config.l2.lineBytes) +
+                   " must be at least the L1 line " +
+                   std::to_string(config.icache.lineBytes);
+        if (config.l2HitPenaltyCycles > 10000)
+            return "l2 hit penalty must be <= 10000 cycles";
+        if (config.l2CyclesPerWord > 10000)
+            return "l2 cycles per word must be <= 10000";
+        if (config.l2FillCycles() > config.lineFillCycles())
+            return "an L2 hit (" +
+                   std::to_string(config.l2FillCycles()) +
+                   " cycles) must not cost more than a memory fill (" +
+                   std::to_string(config.lineFillCycles()) + " cycles)";
+    }
     return "";
 }
 
@@ -53,6 +77,8 @@ validated(const TimingConfig &config)
 FetchTimer::FetchTimer(const TimingConfig &config)
     : config_(validated(config)), icache_(config.icache)
 {
+    if (config_.hasL2())
+        l2_.emplace(config_.l2);
 }
 
 void
@@ -61,8 +87,26 @@ FetchTimer::onFetch(const FetchEvent &event)
     ++items_;
     instructions_ += event.retired;
     fetchedBytes_ += event.bytes;
-    unsigned missed = icache_.access(event.addr, event.bytes);
-    stallIcacheMiss_ += missed * config_.lineFillCycles();
+    // Walk the L1 lines of the access explicitly (same line set and
+    // stats as ICache::access) so each missed line can be attributed
+    // to the level that serves the refill.
+    uint32_t line_bytes = config_.icache.lineBytes;
+    uint32_t first_line = event.addr / line_bytes;
+    uint32_t last_line =
+        (event.addr + (event.bytes ? event.bytes - 1 : 0)) / line_bytes;
+    for (uint32_t line = first_line; line <= last_line; ++line) {
+        if (icache_.touch(line * line_bytes))
+            continue;
+        if (!l2_) {
+            stallIcacheMiss_ += config_.lineFillCycles();
+        } else if (l2_->touch(line * line_bytes)) {
+            stallIcacheMiss_ += config_.l2FillCycles();
+        } else {
+            // Memory refills both levels; charged once, at L1-line
+            // granularity (critical-line-first for wider L2 lines).
+            stallL2Miss_ += config_.lineFillCycles();
+        }
+    }
     if (event.isCodeword && event.retired > 1) {
         // A pre-expanded entry streams from the decode cache in the
         // fetch slot itself; only uncached ranks pay the expander.
@@ -81,10 +125,13 @@ void
 FetchTimer::reset()
 {
     icache_.reset();
+    if (l2_)
+        l2_->reset();
     instructions_ = 0;
     items_ = 0;
     fetchedBytes_ = 0;
     stallIcacheMiss_ = 0;
+    stallL2Miss_ = 0;
     stallExpansion_ = 0;
     stallRedirect_ = 0;
     expansionCacheHits_ = 0;
@@ -100,10 +147,13 @@ FetchTimer::report() const
     report.baseCycles =
         (instructions_ + config_.frontendWidth - 1) / config_.frontendWidth;
     report.stallIcacheMiss = stallIcacheMiss_;
+    report.stallL2Miss = stallL2Miss_;
     report.stallExpansion = stallExpansion_;
     report.stallRedirect = stallRedirect_;
     report.expansionCacheHits = expansionCacheHits_;
     report.icache = icache_.stats();
+    if (l2_)
+        report.l2 = l2_->stats();
     return report;
 }
 
@@ -119,6 +169,7 @@ TimingReport::toJson() const
         .member("cpi", cpi())
         .member("base_cycles", baseCycles)
         .member("stall_icache_miss", stallIcacheMiss)
+        .member("stall_l2_miss", stallL2Miss)
         .member("stall_expansion", stallExpansion)
         .member("stall_redirect", stallRedirect)
         .member("expansion_cache_hits", expansionCacheHits);
@@ -129,6 +180,14 @@ TimingReport::toJson() const
         .member("line_fills", icache.lineFills)
         .member("evictions", icache.evictions)
         .member("miss_rate", icache.missRate())
+        .endObject();
+    json.key("l2")
+        .beginObject()
+        .member("accesses", l2.accesses)
+        .member("misses", l2.misses)
+        .member("line_fills", l2.lineFills)
+        .member("evictions", l2.evictions)
+        .member("miss_rate", l2.missRate())
         .endObject();
     json.endObject();
     return json.str();

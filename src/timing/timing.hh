@@ -10,9 +10,11 @@
  * The model is additive, in-order, and deliberately simple (DESIGN.md
  * section 9): a front end that retires up to `frontendWidth`
  * instructions per cycle, an I-cache whose line fills stall the front
- * end, a dictionary expander that streams entry words at a fixed rate,
+ * end (optionally backed by a second-level cache, TimingConfig::l2),
+ * a dictionary expander that streams entry words at a fixed rate,
  * and a fixed redirect penalty per taken branch. Cycles decompose
- * exactly into base + icache-miss + expansion + redirect stalls, so a
+ * exactly into base + icache-miss + l2-miss + expansion + redirect
+ * stalls, so a
  * TimingReport is both a total and an attribution. Everything is
  * deterministic: the same image and config produce bit-identical
  * reports on every run and every build.
@@ -22,6 +24,7 @@
 #define CODECOMP_TIMING_TIMING_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,12 +68,45 @@ struct TimingConfig
      *  no cache: every expansion pays expansionCyclesPerWord. */
     uint32_t decodedCacheRanks = 0;
 
+    /** Optional second-level I-cache geometry. Zero capacity (the
+     *  default) disables the L2 and the model is bit-identical to the
+     *  single-level one. When enabled the hierarchy is inclusive: an L1
+     *  miss probes the L2 at L1-line granularity; an L2 hit refills the
+     *  L1 line at l2FillCycles(), an L2 miss goes to memory at
+     *  lineFillCycles() (critical-line-first, so the memory fill is
+     *  charged once at L1-line granularity). Validation requires the L2
+     *  to be at least as large as the L1, its line at least the L1
+     *  line, and an L2 hit to cost no more than a memory fill -- which
+     *  makes "adding an L2 never increases cycles" an exact property,
+     *  not a tendency: the L1 miss pattern is independent of the L2, so
+     *  every miss is charged at most its single-level cost. */
+    cache::CacheConfig l2{0, 32, 1};
+
+    /** Lead-off latency of an L1 refill served by the L2, cycles. */
+    uint32_t l2HitPenaltyCycles = 4;
+
+    /** Streaming cost of an L2-sourced refill: cycles per 4-byte word
+     *  of the L1 line being filled. */
+    uint32_t l2CyclesPerWord = 1;
+
+    /** True when a second cache level is configured. */
+    bool hasL2() const { return l2.capacityBytes != 0; }
+
     /** Total stall charged per missed line. */
     uint64_t
     lineFillCycles() const
     {
         return missPenaltyCycles +
                static_cast<uint64_t>(memoryCyclesPerWord) *
+                   (icache.lineBytes / 4);
+    }
+
+    /** Total stall charged per L1 refill that hits in the L2. */
+    uint64_t
+    l2FillCycles() const
+    {
+        return l2HitPenaltyCycles +
+               static_cast<uint64_t>(l2CyclesPerWord) *
                    (icache.lineBytes / 4);
     }
 };
@@ -94,7 +130,8 @@ struct TimingReport
     uint64_t fetchedBytes = 0; //!< bytes moved by the fetch unit
 
     uint64_t baseCycles = 0;        //!< ceil(instructions / width)
-    uint64_t stallIcacheMiss = 0;   //!< line-fill stalls
+    uint64_t stallIcacheMiss = 0;   //!< L1 refills (from L2 or memory)
+    uint64_t stallL2Miss = 0;       //!< memory fills behind an L2 miss
     uint64_t stallExpansion = 0;    //!< dictionary-expansion stalls
     uint64_t stallRedirect = 0;     //!< taken-branch redirects
 
@@ -103,12 +140,13 @@ struct TimingReport
     uint64_t expansionCacheHits = 0;
 
     cache::CacheStats icache;  //!< accesses/misses/fills/evictions
+    cache::CacheStats l2;      //!< all zero when no L2 is configured
 
     uint64_t
     cycles() const
     {
-        return baseCycles + stallIcacheMiss + stallExpansion +
-               stallRedirect;
+        return baseCycles + stallIcacheMiss + stallL2Miss +
+               stallExpansion + stallRedirect;
     }
 
     double
@@ -158,13 +196,18 @@ class FetchTimer
     const TimingConfig &config() const { return config_; }
     const cache::ICache &icache() const { return icache_; }
 
+    /** The L2 model, or nullptr when none is configured. */
+    const cache::ICache *l2() const { return l2_ ? &*l2_ : nullptr; }
+
   private:
     TimingConfig config_;
     cache::ICache icache_;
+    std::optional<cache::ICache> l2_;
     uint64_t instructions_ = 0;
     uint64_t items_ = 0;
     uint64_t fetchedBytes_ = 0;
     uint64_t stallIcacheMiss_ = 0;
+    uint64_t stallL2Miss_ = 0;
     uint64_t stallExpansion_ = 0;
     uint64_t stallRedirect_ = 0;
     uint64_t expansionCacheHits_ = 0;

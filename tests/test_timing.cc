@@ -105,9 +105,10 @@ TEST(TimingReport, JsonCarriesEveryField)
     for (const char *field :
          {"\"instructions\"", "\"items\"", "\"fetched_bytes\"",
           "\"cycles\"", "\"cpi\"", "\"base_cycles\"",
-          "\"stall_icache_miss\"", "\"stall_expansion\"",
-          "\"stall_redirect\"", "\"accesses\"", "\"misses\"",
-          "\"line_fills\"", "\"evictions\"", "\"miss_rate\""})
+          "\"stall_icache_miss\"", "\"stall_l2_miss\"",
+          "\"stall_expansion\"", "\"stall_redirect\"", "\"accesses\"",
+          "\"misses\"", "\"line_fills\"", "\"evictions\"",
+          "\"miss_rate\"", "\"l2\""})
         EXPECT_NE(json.find(field), std::string::npos) << field;
 }
 
@@ -207,6 +208,141 @@ TEST(TimingDensity, DenserImageMissesNoMoreWhenCapacityLimited)
     TimingReport compressed = timeImage(image);
     EXPECT_LE(compressed.icache.misses, native.icache.misses);
     EXPECT_LT(compressed.fetchedBytes, native.fetchedBytes);
+}
+
+/** The test model with a unified L2 behind the 2KB L1: an L2 hit
+ *  refills the L1 line in 4 + 32/4 = 12 cycles instead of 18. */
+TimingConfig
+testModelL2()
+{
+    TimingConfig config = testModel();
+    config.l2 = {8192, 32, 2};
+    config.l2HitPenaltyCycles = 4;
+    config.l2CyclesPerWord = 1;
+    return config;
+}
+
+TEST(TimingL2Config, ValidationRejectsBadHierarchies)
+{
+    EXPECT_EQ(timingConfigError(testModelL2()), "");
+
+    // L2 geometry errors surface through the validator, prefixed.
+    TimingConfig config = testModelL2();
+    config.l2 = {3072, 32, 1}; // 96 sets: not a power of two
+    EXPECT_NE(timingConfigError(config).find("l2:"), std::string::npos);
+    EXPECT_THROW(FetchTimer{config}, std::runtime_error);
+
+    // The hierarchy is inclusive: an L2 below the L1 capacity can
+    // never hold the L1's contents.
+    config = testModelL2();
+    config.l2 = {1024, 32, 1};
+    EXPECT_NE(timingConfigError(config).find("at least the L1 capacity"),
+              std::string::npos);
+    EXPECT_THROW(FetchTimer{config}, std::runtime_error);
+
+    config = testModelL2();
+    config.l2 = {8192, 16, 2}; // L2 line below the L1 line
+    EXPECT_NE(timingConfigError(config).find("at least the L1 line"),
+              std::string::npos);
+
+    // An L2 hit must be cheaper than going to memory, or the "L2" is
+    // not a cache at all.
+    config = testModelL2();
+    config.l2HitPenaltyCycles = 50;
+    EXPECT_NE(timingConfigError(config).find("memory fill"),
+              std::string::npos);
+    EXPECT_THROW(FetchTimer{config}, std::runtime_error);
+
+    config = testModelL2();
+    config.l2CyclesPerWord = 20000;
+    EXPECT_NE(timingConfigError(config), "");
+
+    // Zero capacity is the disabled sentinel, not an error.
+    config = testModelL2();
+    config.l2 = {0, 32, 1};
+    EXPECT_FALSE(config.hasL2());
+    EXPECT_EQ(timingConfigError(config), "");
+}
+
+TEST(TimingL2Hierarchy, ChargesExactStallsPerLevel)
+{
+    FetchTimer timer(testModelL2());
+
+    // Cold fetch: misses both levels; memory refills both (18 cycles,
+    // attributed to the L2 miss).
+    timer.onFetch({0, 4, 1, false, false});
+    // Same line: L1 hit, no L2 access.
+    timer.onFetch({4, 4, 1, false, false});
+    // 2048 maps to L1 set 0 (64 sets x 32B, direct-mapped): evicts
+    // line 0 from the L1. Cold in the L2 too: another 18.
+    timer.onFetch({2048, 4, 1, false, false});
+    // Line 0 again: L1 miss (just evicted), but the inclusive L2
+    // still holds it -- refill from L2 for 12 cycles.
+    timer.onFetch({0, 4, 1, false, false});
+
+    TimingReport report = timer.report();
+    EXPECT_EQ(report.baseCycles, 4u);
+    EXPECT_EQ(report.stallL2Miss, 2u * 18u);
+    EXPECT_EQ(report.stallIcacheMiss, 12u);
+    EXPECT_EQ(report.cycles(), 4u + 36u + 12u);
+    EXPECT_EQ(report.icache.misses, 3u);
+    EXPECT_EQ(report.l2.accesses, 3u); // only L1 misses reach the L2
+    EXPECT_EQ(report.l2.misses, 2u);
+
+    // reset() forgets both levels.
+    timer.reset();
+    timer.onFetch({0, 4, 1, false, false});
+    EXPECT_EQ(timer.report().stallL2Miss, 18u);
+    EXPECT_EQ(timer.report().stallIcacheMiss, 0u);
+}
+
+/** Run @p cpu once, feeding a single-level and a two-level timer the
+ *  same fetch stream; returns (without L2, with L2). */
+template <typename AnyCpu>
+std::pair<TimingReport, TimingReport>
+timeBothModels(AnyCpu &cpu)
+{
+    FetchTimer flat(testModel());
+    FetchTimer two(testModelL2());
+    cpu.setFetchHook([&](const FetchEvent &event) {
+        flat.onFetch(event);
+        two.onFetch(event);
+    });
+    cpu.run();
+    return {flat.report(), two.report()};
+}
+
+TEST(TimingL2Hierarchy, AddingL2NeverIncreasesCycles)
+{
+    // Exactly provable, not just expected: the L1 miss pattern is
+    // independent of the L2, and every miss costs l2FillCycles() <=
+    // lineFillCycles() when it hits the L2, lineFillCycles() when it
+    // does not. Directed check over every workload, both processors.
+    for (const std::string &name : workloads::benchmarkNames()) {
+        Program program = workloads::buildBenchmark(name);
+        {
+            Cpu cpu(program);
+            auto [flat, two] = timeBothModels(cpu);
+            EXPECT_LE(two.cycles(), flat.cycles()) << name;
+            // Same L1 behavior in both models; stalls only rebalance
+            // between the icache-miss and l2-miss buckets.
+            EXPECT_EQ(two.icache, flat.icache) << name;
+            EXPECT_EQ(two.stallIcacheMiss + two.stallL2Miss <=
+                          flat.stallIcacheMiss,
+                      true)
+                << name;
+        }
+        compress::CompressorConfig config;
+        config.scheme = compress::Scheme::Nibble;
+        compress::CompressedImage image =
+            compress::compressProgram(program, config);
+        CompressedCpu cpu(image);
+        auto [flat, two] = timeBothModels(cpu);
+        EXPECT_LE(two.cycles(), flat.cycles()) << name;
+        EXPECT_EQ(two.icache, flat.icache) << name;
+        EXPECT_EQ(two.stallExpansion, flat.stallExpansion) << name;
+        EXPECT_EQ(two.stallRedirect, flat.stallRedirect) << name;
+    }
 }
 
 } // namespace

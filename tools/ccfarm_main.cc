@@ -538,13 +538,12 @@ run(int argc, char **argv)
         for (const std::string &name : schemeFilter)
             if (!compress::parseSchemeName(name))
                 return badArg("unknown scheme '" + name +
-                              "' (expected baseline, onebyte, or "
-                              "nibble)");
+                              "' (expected " +
+                              compress::schemeCliNames(", ") + ")");
+        // The shared parser's catchable fatal carries the registry's
+        // strategy list; runTool maps it to the same usage exit.
         for (const std::string &name : strategyFilter)
-            if (!compress::parseStrategyName(name))
-                return badArg("unknown strategy '" + name +
-                              "' (expected greedy, reference, or "
-                              "refit)");
+            compress::parseStrategyNameOrFatal(name);
         const std::vector<std::string> &known =
             workloads::benchmarkNames();
         for (const std::string &name : workloadFilter)

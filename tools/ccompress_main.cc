@@ -7,10 +7,13 @@
  *             [--max-len N] [--jobs N] [--stats] [--stats-json file]
  *   ccompress a.ccp b.ccp ... -o outdir/ [options]
  *   ccompress --list-schemes
+ *   ccompress --list-strategies
  *
  * The scheme names come from the codec registry (compress/codec.hh);
  * --list-schemes prints the registered codecs with their parameters
- * (this output is the source of README.md's scheme table).
+ * (this output is the source of README.md's scheme table), and
+ * --list-strategies does the same for the selection strategies
+ * (compress/strategy.hh).
  *
  * With several inputs the output names an existing directory (or a
  * path ending in '/'), each program is written there as <stem>.cci,
@@ -51,7 +54,7 @@ usage()
                  "[--strategy greedy|reference|refit] [--max-entries N] "
                  "[--max-len N] [--jobs N] [--stats] "
                  "[--stats-json <file>]\n"
-                 "       ccompress --list-schemes\n",
+                 "       ccompress --list-schemes | --list-strategies\n",
                  compress::schemeCliNames().c_str());
     return tools::exitUserError;
 }
@@ -70,6 +73,18 @@ listSchemes()
                     params.unitNibbles == 1 ? "" : "s",
                     std::string(codec->summary()).c_str());
     }
+    return tools::exitOk;
+}
+
+/** Same shape for the selection strategies (README source). */
+int
+listStrategies()
+{
+    std::printf("| strategy | summary |\n");
+    std::printf("|----------|---------|\n");
+    for (compress::StrategyKind kind : compress::allStrategyKinds())
+        std::printf("| `%s` | %s |\n", compress::strategyName(kind),
+                    compress::strategySummary(kind));
     return tools::exitOk;
 }
 
@@ -190,14 +205,13 @@ run(int argc, char **argv)
             config.scheme = *kind;
         } else if (arg == "--list-schemes") {
             return listSchemes();
+        } else if (arg == "--list-strategies") {
+            return listStrategies();
         } else if (arg == "--strategy" && i + 1 < argc) {
-            std::string name = argv[++i];
-            auto kind = compress::parseStrategyName(name);
-            if (!kind)
-                return badArg("unknown strategy '%s' (expected greedy, "
-                              "reference, or refit)",
-                              name.c_str());
-            config.strategy = *kind;
+            // The shared parser's catchable fatal names the registry's
+            // strategies; runTool turns it into a usage-error exit.
+            config.strategy =
+                compress::parseStrategyNameOrFatal(argv[++i]);
         } else if (arg == "--max-entries" && i + 1 < argc) {
             maxEntriesArg = std::atol(argv[++i]);
         } else if (arg == "--max-len" && i + 1 < argc) {

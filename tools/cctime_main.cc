@@ -5,6 +5,7 @@
  * (src/timing) and print the two verdicts side by side.
  *
  *   cctime prog.ccp prog.cci [--width N] [--icache CAP:LINE:WAYS]
+ *          [--l2 CAP:LINE:WAYS] [--l2-hit N] [--l2-cycles N]
  *          [--miss-penalty N] [--mem-cycles N] [--expand-cycles N]
  *          [--redirect-penalty N] [--decoded-cache N] [--max-steps N]
  *          [--json <file>]
@@ -13,7 +14,9 @@
  * (they are the same program); a mismatch is reported as a verification
  * finding (exit 2). Bad flags and malformed inputs exit 1, per the
  * contract in tool_common.hh. --json writes both TimingReports plus the
- * config through support/json.
+ * config AND the input identity (paths, scheme, image sizes) through
+ * support/json, so a sidecar is self-describing without re-parsing the
+ * command line.
  */
 
 #include <cstdio>
@@ -37,7 +40,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: cctime <prog.ccp> <prog.cci> [--width N] "
-        "[--icache CAP:LINE:WAYS] [--miss-penalty N] [--mem-cycles N] "
+        "[--icache CAP:LINE:WAYS] [--l2 CAP:LINE:WAYS] [--l2-hit N] "
+        "[--l2-cycles N] [--miss-penalty N] [--mem-cycles N] "
         "[--expand-cycles N] [--redirect-penalty N] [--decoded-cache N] "
         "[--max-steps N] [--json <file>]\n");
     return tools::exitUserError;
@@ -66,10 +70,11 @@ printReport(const char *label, const timing::TimingReport &report)
                 report.cpi(),
                 static_cast<unsigned long long>(report.instructions),
                 static_cast<unsigned long long>(report.fetchedBytes));
-    std::printf("           stalls: icache-miss %llu, expansion %llu "
-                "(%llu decode-cache hits), redirect %llu; "
+    std::printf("           stalls: icache-miss %llu, l2-miss %llu, "
+                "expansion %llu (%llu decode-cache hits), redirect %llu; "
                 "icache %llu/%llu miss (%.2f%%), %llu evictions\n",
                 static_cast<unsigned long long>(report.stallIcacheMiss),
+                static_cast<unsigned long long>(report.stallL2Miss),
                 static_cast<unsigned long long>(report.stallExpansion),
                 static_cast<unsigned long long>(report.expansionCacheHits),
                 static_cast<unsigned long long>(report.stallRedirect),
@@ -77,6 +82,13 @@ printReport(const char *label, const timing::TimingReport &report)
                 static_cast<unsigned long long>(report.icache.accesses),
                 report.icache.missRate() * 100,
                 static_cast<unsigned long long>(report.icache.evictions));
+    if (report.l2.accesses)
+        std::printf("           l2: %llu/%llu miss (%.2f%%), "
+                    "%llu evictions\n",
+                    static_cast<unsigned long long>(report.l2.misses),
+                    static_cast<unsigned long long>(report.l2.accesses),
+                    report.l2.missRate() * 100,
+                    static_cast<unsigned long long>(report.l2.evictions));
 }
 
 int
@@ -98,6 +110,19 @@ run(int argc, char **argv)
                              "(e.g. 2048:32:2)\n");
                 return tools::exitUserError;
             }
+        } else if (arg == "--l2" && i + 1 < argc) {
+            if (!parseCacheSpec(argv[++i], config.l2)) {
+                std::fprintf(stderr,
+                             "cctime: --l2 wants CAP:LINE:WAYS "
+                             "(e.g. 8192:32:2)\n");
+                return tools::exitUserError;
+            }
+        } else if (arg == "--l2-hit" && i + 1 < argc) {
+            config.l2HitPenaltyCycles =
+                static_cast<uint32_t>(std::atol(argv[++i]));
+        } else if (arg == "--l2-cycles" && i + 1 < argc) {
+            config.l2CyclesPerWord =
+                static_cast<uint32_t>(std::atol(argv[++i]));
         } else if (arg == "--miss-penalty" && i + 1 < argc) {
             config.missPenaltyCycles =
                 static_cast<uint32_t>(std::atol(argv[++i]));
@@ -172,6 +197,12 @@ run(int argc, char **argv)
                 static_cast<unsigned long long>(config.lineFillCycles()),
                 config.expansionCyclesPerWord,
                 config.redirectPenaltyCycles, config.decodedCacheRanks);
+    if (config.hasL2())
+        std::printf("       l2: %u:%u:%u, fill-from-l2 %llu cycles\n",
+                    config.l2.capacityBytes, config.l2.lineBytes,
+                    config.l2.ways,
+                    static_cast<unsigned long long>(
+                        config.l2FillCycles()));
     printReport("native", native);
     printReport("compressed", compressed);
     double speedup = compressed.cycles() == 0
@@ -188,11 +219,32 @@ run(int argc, char **argv)
             .member("icache_capacity", config.icache.capacityBytes)
             .member("icache_line", config.icache.lineBytes)
             .member("icache_ways", config.icache.ways)
+            .member("l2_capacity", config.l2.capacityBytes)
+            .member("l2_line", config.l2.lineBytes)
+            .member("l2_ways", config.l2.ways)
+            .member("l2_hit_penalty", config.l2HitPenaltyCycles)
+            .member("l2_cycles_per_word", config.l2CyclesPerWord)
             .member("miss_penalty", config.missPenaltyCycles)
             .member("mem_cycles_per_word", config.memoryCyclesPerWord)
             .member("expand_cycles_per_word", config.expansionCyclesPerWord)
             .member("redirect_penalty", config.redirectPenaltyCycles)
             .member("decoded_cache_ranks", config.decodedCacheRanks)
+            .endObject();
+        // Identity of the measured inputs, so downstream consumers
+        // (autotune frontier tables, plot scripts) never re-parse argv.
+        JsonWriter identity;
+        identity.beginObject()
+            .member("program", programPath)
+            .member("image", imagePath)
+            .member("scheme", compress::schemeCliName(image.scheme))
+            .member("total_bytes", image.totalBytes())
+            .member("text_bytes", image.compressedTextBytes())
+            .member("dict_bytes", image.dictionaryBytes())
+            .member("entries",
+                    static_cast<uint64_t>(image.entriesByRank.size()))
+            .member("ratio", image.compressionRatio())
+            .member("far_branch_expansions", image.farBranchExpansions)
+            .member("max_steps", max_steps)
             .endObject();
         // TimingReport::toJson returns complete objects; compose the
         // document from the closed pieces.
@@ -200,6 +252,7 @@ run(int argc, char **argv)
         std::snprintf(ratio, sizeof(ratio), "%.6f",
                       speedup == 0.0 ? 0.0 : 1.0 / speedup);
         std::string doc = "{\"config\":" + json.str() +
+                          ",\"identity\":" + identity.str() +
                           ",\"native\":" + native.toJson() +
                           ",\"compressed\":" + compressed.toJson() +
                           ",\"cycle_ratio\":" + ratio + "}\n";
